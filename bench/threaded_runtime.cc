@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Real-time microbenchmarks of the threaded MINOS-B runtime (the §IV
+ * "distributed machine"): blocking client write/read cost per model on
+ * a 3-node in-process cluster with real thread concurrency. Unlike the
+ * figure harnesses, these measure actual wall-clock time, so
+ * google-benchmark's repetition machinery applies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "proto/tnode.hh"
+
+using namespace minos;
+using namespace minos::proto;
+
+namespace {
+
+ThreadedConfig
+benchConfig(PersistModel model)
+{
+    ThreadedConfig cfg;
+    cfg.numNodes = 3;
+    cfg.model = model;
+    cfg.numRecords = 1024;
+    cfg.persistNsPerKb = 300; // keep the emulated persist short
+    cfg.wireLatency = std::chrono::microseconds(1);
+    return cfg;
+}
+
+void
+threadedWrite(benchmark::State &state, PersistModel model)
+{
+    ThreadedCluster cluster(benchConfig(model));
+    kv::Key key = 0;
+    for (auto _ : state) {
+        cluster.node(0).write(key, 1);
+        key = (key + 1) % 512;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+threadedRead(benchmark::State &state)
+{
+    ThreadedCluster cluster(benchConfig(PersistModel::Synch));
+    cluster.node(0).write(7, 42);
+    for (auto _ : state) {
+        auto v = cluster.node(1).read(7);
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+threadedConflictingWriters(benchmark::State &state)
+{
+    // Two client threads on different nodes hammering one key: measures
+    // snatch/WRLock contention end to end.
+    ThreadedCluster cluster(benchConfig(PersistModel::Synch));
+    std::atomic<bool> stop{false};
+    std::thread rival([&] {
+        while (!stop.load(std::memory_order_acquire))
+            cluster.node(1).write(0, 2);
+    });
+    for (auto _ : state)
+        cluster.node(0).write(0, 1);
+    stop.store(true, std::memory_order_release);
+    rival.join();
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    for (PersistModel m : simproto::allModels) {
+        benchmark::RegisterBenchmark(
+            (std::string("Threaded/write/") +
+             std::string(simproto::shortModelName(m)))
+                .c_str(),
+            [m](benchmark::State &st) { threadedWrite(st, m); })
+            ->Unit(benchmark::kMicrosecond)
+            ->MinTime(0.2);
+    }
+    benchmark::RegisterBenchmark("Threaded/read", threadedRead)
+        ->Unit(benchmark::kMicrosecond)
+        ->MinTime(0.2);
+    benchmark::RegisterBenchmark("Threaded/conflicting_writers",
+                                 threadedConflictingWriters)
+        ->Unit(benchmark::kMicrosecond)
+        ->MinTime(0.2);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Protocol verification (paper §VI): exhaustively model-check the
+ * Table I correctness conditions for every <Lin, persistency> model
+ * with two conflicting writers on three nodes, and demonstrate that the
+ * checker catches a deliberately broken protocol.
+ *
+ *   $ ./examples/model_check
+ */
+
+#include <cstdio>
+
+#include "check/checker.hh"
+#include "stats/stats.hh"
+
+using namespace minos;
+using namespace minos::check;
+
+int
+main()
+{
+    stats::Table table({"model", "states", "transitions",
+                        "final states", "violations"});
+
+    for (auto model : simproto::allModels) {
+        CheckConfig cfg;
+        cfg.model = model;
+        cfg.numNodes = 3;
+        cfg.writers = {0, 1}; // two concurrent conflicting writes
+        CheckResult res = checkModel(cfg);
+        table.addRow({std::string(simproto::modelName(model)),
+                      std::to_string(res.statesExplored),
+                      std::to_string(res.transitions),
+                      std::to_string(res.finalStates),
+                      std::to_string(res.violations.size())});
+    }
+
+    std::printf("Table I verification: 3 nodes, 2 conflicting "
+                "writers, adversarial message reordering\n\n%s\n",
+                table.str().c_str());
+
+    // Negative control: a protocol that releases the RDLock before the
+    // ACKs arrive must be flagged.
+    CheckConfig buggy;
+    buggy.model = simproto::PersistModel::Synch;
+    buggy.numNodes = 2;
+    buggy.writers = {0};
+    buggy.bugReleaseRdLockEarly = true;
+    CheckResult res = checkModel(buggy);
+    std::printf("negative control (early RDLock release): %zu "
+                "violation(s) found, e.g.\n  %s: %s\n",
+                res.violations.size(),
+                res.violations.empty()
+                    ? "(none)"
+                    : res.violations.front().invariant.c_str(),
+                res.violations.empty()
+                    ? ""
+                    : res.violations.front().detail.c_str());
+    return res.violations.empty() ? 1 : 0;
+}

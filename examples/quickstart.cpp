@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a simulated 5-node MINOS cluster, write and read a
+ * few records through the DDP protocols, and print what happened.
+ *
+ *   $ ./examples/quickstart
+ *
+ * This exercises the core public API: pick an engine (MINOS-B runs the
+ * protocols on the host CPUs, MINOS-O offloads them to the SmartNIC
+ * model), pick a <Lin, persistency> model, then issue client writes and
+ * reads from any node — the system is leaderless.
+ */
+
+#include <cstdio>
+
+#include "simproto/cluster_b.hh"
+#include "snic/cluster_o.hh"
+
+using namespace minos;
+using namespace minos::simproto;
+
+namespace {
+
+sim::Process
+demo(sim::Simulator *sim, DdpCluster *cluster, const char *engine)
+{
+    std::printf("--- %s, %s ---\n", engine,
+                std::string(modelName(cluster->model())).c_str());
+
+    // Any node can coordinate a write (leaderless, paper §II-A).
+    OpStats w1 = co_await cluster->clientWrite(/*node=*/0, /*key=*/42,
+                                               /*value=*/1001, 0);
+    std::printf("  write key=42 val=1001 via node 0: %ld ns%s\n",
+                w1.latencyNs, w1.obsolete ? " (obsolete)" : "");
+
+    OpStats w2 = co_await cluster->clientWrite(3, 42, 1002, 0);
+    std::printf("  write key=42 val=1002 via node 3: %ld ns\n",
+                w2.latencyNs);
+
+    // Reads are always served locally (all records are replicated).
+    for (kv::NodeId n = 0; n < cluster->numNodes(); ++n) {
+        OpStats r = co_await cluster->clientRead(n, 42);
+        std::printf("  read  key=42 at node %d -> %llu (%ld ns)\n", n,
+                    static_cast<unsigned long long>(r.value),
+                    r.latencyNs);
+    }
+    std::printf("  simulated time elapsed: %.2f us\n\n",
+                static_cast<double>(sim->now()) / 1e3);
+}
+
+} // namespace
+
+int
+main()
+{
+    ClusterConfig cfg; // Table II/III defaults: 5 nodes, 100K records
+
+    {
+        sim::Simulator sim;
+        ClusterB baseline(sim, cfg, PersistModel::Synch);
+        sim.spawn(demo(&sim, &baseline, "MINOS-B (host CPUs)"));
+        sim.run();
+    }
+    {
+        sim::Simulator sim;
+        snic::ClusterO offload(sim, cfg, PersistModel::Synch);
+        sim.spawn(demo(&sim, &offload, "MINOS-O (SmartNIC offload)"));
+        sim.run();
+    }
+    std::printf("Done. Try other persistency models: Synch, Strict, "
+                "REnf, Event, Scope.\n");
+    return 0;
+}

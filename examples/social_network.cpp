@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Microservice scenario (paper §VIII-C): the DeathStarBench
+ * UserService.Login function of the Social Network and Media
+ * Microservices applications, running its GET/SET sequence through
+ * MINOS on a 16-node cluster with a 500 us datacenter round trip.
+ *
+ *   $ ./examples/social_network
+ */
+
+#include <cstdio>
+
+#include "simproto/cluster_b.hh"
+#include "simproto/driver.hh"
+#include "snic/cluster_o.hh"
+
+using namespace minos;
+using namespace minos::simproto;
+
+int
+main()
+{
+    ClusterConfig cfg;
+    cfg.numNodes = 16;
+
+    MicroserviceConfig mc;
+    mc.invocationsPerNode = 10;
+    mc.workersPerNode = 2;
+    mc.numRecords = cfg.numRecords;
+
+    stats::Table table({"application", "engine", "mean e2e (us)",
+                        "p99 e2e (us)"});
+
+    for (const auto &spec : {workload::socialNetworkLogin(),
+                             workload::mediaMicroservicesLogin()}) {
+        double b_mean = 0;
+        for (bool offload : {false, true}) {
+            sim::Simulator sim;
+            MicroserviceResult res;
+            if (offload) {
+                snic::ClusterO cluster(sim, cfg, PersistModel::Synch);
+                res = runMicroservice(sim, cluster, spec, mc);
+            } else {
+                ClusterB cluster(sim, cfg, PersistModel::Synch);
+                res = runMicroservice(sim, cluster, spec, mc);
+            }
+            if (!offload)
+                b_mean = res.e2eLat.mean();
+            table.addRow({spec.app + " " + spec.function,
+                          offload ? "MINOS-O" : "MINOS-B",
+                          stats::Table::fmt(res.e2eLat.mean() / 1e3),
+                          stats::Table::fmt(
+                              static_cast<double>(res.e2eLat.p99()) /
+                              1e3)});
+            if (offload) {
+                std::printf("%s: offload cuts end-to-end latency by "
+                            "%.1f%%\n",
+                            spec.app.c_str(),
+                            100.0 *
+                                (1.0 - res.e2eLat.mean() / b_mean));
+            }
+        }
+    }
+
+    std::printf("\n16 nodes, <Lin,Synch>, 500us service RTT "
+                "(paper Fig. 11 setup)\n\n%s\n",
+                table.str().c_str());
+    return 0;
+}

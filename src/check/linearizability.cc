@@ -1,0 +1,141 @@
+#include "linearizability.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace minos::check {
+
+namespace {
+
+/** Memoization key: which ops are already linearized + register value. */
+struct MemoKey
+{
+    std::uint64_t done;
+    kv::Value value;
+
+    bool operator==(const MemoKey &o) const
+    {
+        return done == o.done && value == o.value;
+    }
+};
+
+struct MemoHash
+{
+    std::size_t
+    operator()(const MemoKey &k) const noexcept
+    {
+        return std::hash<std::uint64_t>()(k.done * 0x9E3779B97F4A7C15ull ^
+                                          k.value);
+    }
+};
+
+struct Searcher
+{
+    const std::vector<HistoryOp> &ops;
+    std::size_t maxStates;
+    std::size_t visited = 0;
+    bool budgetHit = false;
+    std::unordered_set<MemoKey, MemoHash> memo;
+
+    bool
+    search(std::uint64_t done, kv::Value value)
+    {
+        if (done == (ops.size() == 64
+                         ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << ops.size()) - 1))
+            return true;
+        if (++visited > maxStates) {
+            budgetHit = true;
+            return false;
+        }
+        if (!memo.insert(MemoKey{done, value}).second)
+            return false;
+
+        // Earliest response among pending ops: a candidate must have
+        // invoked before that instant, or linearizing it would put it
+        // after an operation that had already completed in real time.
+        Tick frontier = std::numeric_limits<Tick>::max();
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            if (!(done & (std::uint64_t{1} << i)))
+                frontier = std::min(frontier, ops[i].response);
+        }
+
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            std::uint64_t bit = std::uint64_t{1} << i;
+            if (done & bit)
+                continue;
+            const HistoryOp &op = ops[i];
+            if (op.invoke > frontier)
+                continue; // a completed pending op must come first
+            if (op.kind == HistoryOp::Kind::Read) {
+                if (op.value != value)
+                    continue; // read cannot observe this value here
+                if (search(done | bit, value))
+                    return true;
+            } else {
+                if (search(done | bit, op.value))
+                    return true;
+            }
+            if (budgetHit)
+                return false;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+LinResult
+checkLinearizable(const std::vector<HistoryOp> &history,
+                  std::size_t max_states)
+{
+    LinResult result;
+    if (history.size() > 64) {
+        result.explanation = "history longer than 64 operations";
+        result.inconclusive = true;
+        return result;
+    }
+    for (const auto &op : history) {
+        if (op.response < op.invoke) {
+            result.explanation = "operation response precedes invoke";
+            return result;
+        }
+    }
+    // Unique write values are a precondition for register checking.
+    {
+        std::unordered_set<kv::Value> values;
+        for (const auto &op : history) {
+            if (op.kind == HistoryOp::Kind::Write &&
+                !values.insert(op.value).second) {
+                result.explanation = "duplicate write value";
+                result.inconclusive = true;
+                return result;
+            }
+        }
+    }
+
+    Searcher searcher{history, max_states, 0, false, {}};
+    bool ok = searcher.search(0, 0);
+    result.statesVisited = searcher.visited;
+    if (ok) {
+        result.linearizable = true;
+        return result;
+    }
+    if (searcher.budgetHit) {
+        result.inconclusive = true;
+        result.explanation = "search budget exhausted";
+        return result;
+    }
+    std::ostringstream os;
+    os << "no sequential witness exists for the " << history.size()
+       << "-operation history (" << searcher.visited
+       << " states searched)";
+    result.explanation = os.str();
+    return result;
+}
+
+} // namespace minos::check

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Linearizability checking of operation histories (Wing & Gong style
+ * backtracking with memoization, as popularized by Knossos/Porcupine).
+ *
+ * The DDP models all build on Linearizable consistency (paper §II-A):
+ * once a write response returns, every later read anywhere must observe
+ * that write or a newer one. This checker validates that guarantee
+ * *end to end* on real execution histories collected from the threaded
+ * runtime: concurrent client threads record invocation/response
+ * timestamps for reads and writes of one record, and the checker
+ * searches for a legal sequential witness that respects real time and
+ * register semantics.
+ *
+ * Write values must be unique within a history; the register's initial
+ * value is 0.
+ */
+
+#ifndef MINOS_CHECK_LINEARIZABILITY_HH
+#define MINOS_CHECK_LINEARIZABILITY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "kv/record.hh"
+
+namespace minos::check {
+
+/** One completed operation in a single-register history. */
+struct HistoryOp
+{
+    enum class Kind : std::uint8_t { Read, Write };
+
+    Kind kind = Kind::Read;
+    /** Real-time invocation and response instants (any monotonic unit). */
+    Tick invoke = 0;
+    Tick response = 0;
+    /** Value written (Write) or observed (Read). */
+    kv::Value value = 0;
+};
+
+/** Outcome of a linearizability check. */
+struct LinResult
+{
+    bool linearizable = false;
+    /** Diagnosis when not linearizable (or the search gave up). */
+    std::string explanation;
+    /** Search effort. */
+    std::size_t statesVisited = 0;
+    /** True if the search hit its budget before deciding. */
+    bool inconclusive = false;
+};
+
+/**
+ * Decide whether @p history (at most 64 operations) is linearizable as
+ * a register with initial value 0.
+ *
+ * @param max_states search budget; exceeding it yields inconclusive.
+ */
+LinResult checkLinearizable(const std::vector<HistoryOp> &history,
+                            std::size_t max_states = 2'000'000);
+
+} // namespace minos::check
+
+#endif // MINOS_CHECK_LINEARIZABILITY_HH

@@ -1,0 +1,112 @@
+#include "flags.hh"
+
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace minos {
+
+Flags::Flags(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    bool flags_done = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (flags_done || arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        if (arg == "--") {
+            flags_done = true;
+            continue;
+        }
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            values_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // `--name value` unless the next token is another flag.
+        if (i + 1 < argc) {
+            std::string next = argv[i + 1];
+            if (next.rfind("--", 0) != 0) {
+                values_[body] = next;
+                ++i;
+                continue;
+            }
+        }
+        values_[body] = ""; // bare boolean switch
+    }
+}
+
+bool
+Flags::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Flags::getString(const std::string &name, const std::string &dflt) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : it->second;
+}
+
+std::int64_t
+Flags::getInt(const std::string &name, std::int64_t dflt) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return dflt;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        MINOS_FATAL("flag --", name, " expects an integer, got '",
+                    it->second, "'");
+    return v;
+}
+
+double
+Flags::getDouble(const std::string &name, double dflt) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return dflt;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        MINOS_FATAL("flag --", name, " expects a number, got '",
+                    it->second, "'");
+    return v;
+}
+
+bool
+Flags::getBool(const std::string &name, bool dflt) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return dflt;
+    const std::string &v = it->second;
+    if (v.empty() || v == "1" || v == "true" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "no")
+        return false;
+    return dflt;
+}
+
+std::vector<std::string>
+Flags::unknownFlags(const std::vector<std::string> &known) const
+{
+    std::vector<std::string> unknown;
+    for (const auto &[name, value] : values_) {
+        bool found = false;
+        for (const auto &k : known)
+            found |= (k == name);
+        if (!found)
+            unknown.push_back(name);
+    }
+    return unknown;
+}
+
+} // namespace minos

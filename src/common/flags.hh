@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the tools and harnesses.
+ *
+ * Supports `--name=value`, `--name value`, and bare boolean `--name`
+ * switches, plus positional arguments. Unknown-flag detection lets
+ * tools fail fast on typos.
+ */
+
+#ifndef MINOS_COMMON_FLAGS_HH
+#define MINOS_COMMON_FLAGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace minos {
+
+/** Parsed command line. */
+class Flags
+{
+  public:
+    /**
+     * Parse @p argv. Flags start with `--`; everything else is
+     * positional. `--` alone ends flag parsing.
+     */
+    Flags(int argc, const char *const *argv);
+
+    /** True if the flag was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value, or @p dflt when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &dflt = "") const;
+
+    /**
+     * Integer value, or @p dflt when absent. Malformed values are a
+     * fatal user error.
+     */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t dflt = 0) const;
+
+    /** Double value, or @p dflt when absent. */
+    double getDouble(const std::string &name, double dflt = 0.0) const;
+
+    /**
+     * Boolean: true when the flag appears with no value or with
+     * "1"/"true"/"yes"; false for "0"/"false"/"no"; @p dflt otherwise.
+     */
+    bool getBool(const std::string &name, bool dflt = false) const;
+
+    /** Positional arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+    /**
+     * Flags given on the command line that are not in @p known —
+     * use to reject typos.
+     */
+    std::vector<std::string>
+    unknownFlags(const std::vector<std::string> &known) const;
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace minos
+
+#endif // MINOS_COMMON_FLAGS_HH

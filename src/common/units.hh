@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Time and size units used across MINOS.
+ *
+ * Simulated time is kept as an integral count of nanoseconds (Tick).
+ * Helper literals/constants make configuration tables (Table II/III of the
+ * paper) read naturally, e.g. `500 * US` or `persistNsPerKb = 1295`.
+ */
+
+#ifndef MINOS_COMMON_UNITS_HH
+#define MINOS_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace minos {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::int64_t;
+
+/** One nanosecond. */
+inline constexpr Tick NS = 1;
+/** One microsecond. */
+inline constexpr Tick US = 1000 * NS;
+/** One millisecond. */
+inline constexpr Tick MS = 1000 * US;
+/** One second. */
+inline constexpr Tick SEC = 1000 * MS;
+
+/** Sizes in bytes. */
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+/**
+ * Time to serialize @p bytes over a link of @p bytes_per_sec bandwidth,
+ * rounded up to a whole tick.
+ */
+constexpr Tick
+serializationDelay(std::uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes_per_sec <= 0.0)
+        return 0;
+    double ns = static_cast<double>(bytes) * 1e9 / bytes_per_sec;
+    return static_cast<Tick>(ns) + ((ns > static_cast<Tick>(ns)) ? 1 : 0);
+}
+
+} // namespace minos
+
+#endif // MINOS_COMMON_UNITS_HH

@@ -1,0 +1,116 @@
+#include "hashtable.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace minos::kv {
+
+AtomicRecord::AtomicRecord()
+    : rdLockOwner(Timestamp::none().pack()),
+      volatileTs(Timestamp::none().pack()),
+      glbVolatileTs(Timestamp::none().pack()),
+      glbDurableTs(Timestamp::none().pack()),
+      wrLock(false),
+      value(0)
+{
+}
+
+Timestamp
+AtomicRecord::loadRdLockOwner() const
+{
+    return Timestamp::unpack(rdLockOwner.load(std::memory_order_acquire));
+}
+
+Timestamp
+AtomicRecord::loadVolatileTs() const
+{
+    return Timestamp::unpack(volatileTs.load(std::memory_order_acquire));
+}
+
+Timestamp
+AtomicRecord::loadGlbVolatileTs() const
+{
+    return Timestamp::unpack(
+        glbVolatileTs.load(std::memory_order_acquire));
+}
+
+Timestamp
+AtomicRecord::loadGlbDurableTs() const
+{
+    return Timestamp::unpack(glbDurableTs.load(std::memory_order_acquire));
+}
+
+bool
+AtomicRecord::raiseTs(std::atomic<std::uint64_t> &field,
+                      const Timestamp &ts)
+{
+    std::uint64_t desired = ts.pack();
+    std::uint64_t cur = field.load(std::memory_order_acquire);
+    while (cur < desired) {
+        if (field.compare_exchange_weak(cur, desired,
+                                        std::memory_order_acq_rel))
+            return true;
+    }
+    return false;
+}
+
+HashTable::HashTable(std::size_t bucket_count)
+    : buckets_(bucket_count ? bucket_count : 1),
+      bucketLocks_(bucket_count ? bucket_count : 1)
+{
+    for (auto &b : buckets_)
+        b.store(nullptr, std::memory_order_relaxed);
+}
+
+HashTable::~HashTable()
+{
+    for (auto &b : buckets_) {
+        Node *n = b.load(std::memory_order_relaxed);
+        while (n) {
+            Node *next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+}
+
+std::size_t
+HashTable::bucketOf(Key k) const
+{
+    return fnv1aHash64(k) % buckets_.size();
+}
+
+AtomicRecord *
+HashTable::find(Key k) const
+{
+    Node *n = buckets_[bucketOf(k)].load(std::memory_order_acquire);
+    while (n) {
+        if (n->key == k)
+            return &n->record;
+        n = n->next.load(std::memory_order_acquire);
+    }
+    return nullptr;
+}
+
+AtomicRecord &
+HashTable::getOrCreate(Key k)
+{
+    if (AtomicRecord *rec = find(k))
+        return *rec;
+
+    std::size_t b = bucketOf(k);
+    std::lock_guard<std::mutex> guard(bucketLocks_[b]);
+    // Re-check under the bucket lock: someone may have inserted it.
+    Node *head = buckets_[b].load(std::memory_order_acquire);
+    for (Node *n = head; n; n = n->next.load(std::memory_order_acquire)) {
+        if (n->key == k)
+            return n->record;
+    }
+    auto *node = new Node(k);
+    node->next.store(head, std::memory_order_relaxed);
+    buckets_[b].store(node, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return node->record;
+}
+
+} // namespace minos::kv

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Concurrent hashtable back-end of MINOS-KV (paper §VII: "The back-end
+ * in-memory application used is a Hashtable").
+ *
+ * Record metadata fields are individual atomics so the threaded MINOS-B
+ * runtime can express the paper's lock-free operations: timestamps and
+ * RDLock_Owner are packed 64-bit words (see kv/timestamp.hh) manipulated
+ * with compare-and-swap, exactly as the algorithms require (snatching,
+ * obsoleteness checks, spin loops).
+ */
+
+#ifndef MINOS_KV_HASHTABLE_HH
+#define MINOS_KV_HASHTABLE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "kv/record.hh"
+#include "kv/timestamp.hh"
+
+namespace minos::kv {
+
+/**
+ * Record with atomic metadata for the threaded runtime.
+ *
+ * All timestamp-typed fields store Timestamp::pack() words so a plain
+ * integer CAS implements the protocol's atomic snatch/update operations,
+ * and raw comparison of loaded words equals timestamp comparison.
+ */
+struct AtomicRecord
+{
+    AtomicRecord();
+
+    std::atomic<std::uint64_t> rdLockOwner;
+    std::atomic<std::uint64_t> volatileTs;
+    std::atomic<std::uint64_t> glbVolatileTs;
+    std::atomic<std::uint64_t> glbDurableTs;
+    std::atomic<bool> wrLock;
+    std::atomic<Value> value;
+    /**
+     * Monotonic guard keeping locally-issued TS_WR versions unique when
+     * several local threads write the record concurrently (the paper's
+     * "volatileTS version + 1" rule alone would collide).
+     */
+    std::atomic<std::int64_t> localVersionGuard{0};
+
+    /** Convenience loads decoded back to Timestamp. */
+    Timestamp loadRdLockOwner() const;
+    Timestamp loadVolatileTs() const;
+    Timestamp loadGlbVolatileTs() const;
+    Timestamp loadGlbDurableTs() const;
+
+    /**
+     * Monotonically raise a packed-timestamp field to @p ts: CAS loop that
+     * only replaces strictly older values. Returns true if this call
+     * performed the update.
+     */
+    static bool raiseTs(std::atomic<std::uint64_t> &field,
+                        const Timestamp &ts);
+};
+
+/**
+ * Chaining hashtable of AtomicRecord keyed by Key.
+ *
+ * Lookups are lock-free; inserts take a per-bucket mutex. Records are
+ * never removed (the KV store's delete would mark a tombstone value), so
+ * returned pointers remain valid for the table's lifetime.
+ */
+class HashTable
+{
+  public:
+    /** @param bucket_count number of hash buckets (rounded up to >= 1). */
+    explicit HashTable(std::size_t bucket_count);
+
+    HashTable(const HashTable &) = delete;
+    HashTable &operator=(const HashTable &) = delete;
+    ~HashTable();
+
+    /** Find the record for @p k, or nullptr if absent. Lock-free. */
+    AtomicRecord *find(Key k) const;
+
+    /** Find or insert the record for @p k. */
+    AtomicRecord &getOrCreate(Key k);
+
+    /** Number of records stored. */
+    std::size_t size() const { return size_.load(); }
+
+    std::size_t bucketCount() const { return buckets_.size(); }
+
+  private:
+    struct Node
+    {
+        explicit Node(Key k) : key(k) {}
+
+        const Key key;
+        AtomicRecord record;
+        std::atomic<Node *> next{nullptr};
+    };
+
+    std::size_t bucketOf(Key k) const;
+
+    std::vector<std::atomic<Node *>> buckets_;
+    std::vector<std::mutex> bucketLocks_;
+    std::atomic<std::size_t> size_{0};
+};
+
+} // namespace minos::kv
+
+#endif // MINOS_KV_HASHTABLE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-record metadata of the MINOS-KV store (Figure 1(a) of the paper).
+ *
+ * Each record carries:
+ *  - RDLock_Owner: timestamp of the youngest ongoing client-write, or
+ *    <-1,-1> when free. Taken RDLock blocks reads; a younger client-write
+ *    may "snatch" it.
+ *  - WRLock: guards local-writes to the volatile copy (MINOS-B only;
+ *    MINOS-O replaces it with the vFIFO).
+ *  - volatileTS: version of the local volatile copy.
+ *  - glb_volatileTS: version known updated in volatile memory on ALL
+ *    replicas (set once consistency completes cluster-wide).
+ *  - glb_durableTS: version known persisted on ALL replicas (set once
+ *    persistency completes cluster-wide).
+ */
+
+#ifndef MINOS_KV_RECORD_HH
+#define MINOS_KV_RECORD_HH
+
+#include <cstdint>
+
+#include "kv/timestamp.hh"
+
+namespace minos::kv {
+
+/** Record key. Records are replicated on every node (paper §II-A). */
+using Key = std::uint64_t;
+
+/** Abstract record value: a 64-bit token standing in for the 1KB blob. */
+using Value = std::uint64_t;
+
+/**
+ * Plain (non-atomic) record metadata plus value, used by the
+ * discrete-event models where interleaving happens only at co_await
+ * points.
+ */
+struct Record
+{
+    Timestamp rdLockOwner = Timestamp::none();
+    bool wrLock = false;
+    Timestamp volatileTs = Timestamp::none();
+    Timestamp glbVolatileTs = Timestamp::none();
+    Timestamp glbDurableTs = Timestamp::none();
+    Value value = 0;
+
+    bool rdLockFree() const { return rdLockOwner.isNone(); }
+};
+
+/**
+ * The Obsolete primitive (paper §III-A): a client-write with timestamp
+ * @p ts_wr is obsolete iff the local volatile copy already carries a
+ * newer timestamp.
+ */
+inline bool
+isObsolete(const Record &rec, const Timestamp &ts_wr)
+{
+    return rec.volatileTs > ts_wr;
+}
+
+} // namespace minos::kv
+
+#endif // MINOS_KV_RECORD_HH

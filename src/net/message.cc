@@ -1,0 +1,41 @@
+#include "message.hh"
+
+#include "common/logging.hh"
+
+namespace minos::net {
+
+std::string_view
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::INV: return "INV";
+      case MsgType::ACK: return "ACK";
+      case MsgType::ACK_C: return "ACK_C";
+      case MsgType::ACK_P: return "ACK_P";
+      case MsgType::VAL: return "VAL";
+      case MsgType::VAL_C: return "VAL_C";
+      case MsgType::VAL_P: return "VAL_P";
+      case MsgType::INV_SC: return "[INV]sc";
+      case MsgType::ACK_C_SC: return "[ACK_C]sc";
+      case MsgType::ACK_P_SC: return "[ACK_P]sc";
+      case MsgType::VAL_C_SC: return "[VAL_C]sc";
+      case MsgType::VAL_P_SC: return "[VAL_P]sc";
+      case MsgType::PERSIST_SC: return "[PERSIST]sc";
+    }
+    MINOS_PANIC("unknown message type");
+}
+
+Message
+makeResponse(const Message &req, MsgType type)
+{
+    Message resp = req;
+    resp.type = type;
+    resp.src = req.dst;
+    resp.dst = req.src;
+    resp.sizeBytes = controlMsgBytes;
+    resp.destMask = 0;
+    resp.handleNs = 0;
+    return resp;
+}
+
+} // namespace minos::net

@@ -1,0 +1,15 @@
+#include "ctrl.hh"
+
+namespace minos::recovery {
+
+kv::NodeId
+designatedNode(std::uint64_t live_mask, int num_nodes)
+{
+    for (int n = 0; n < num_nodes; ++n) {
+        if (isLive(live_mask, static_cast<kv::NodeId>(n)))
+            return static_cast<kv::NodeId>(n);
+    }
+    return -1;
+}
+
+} // namespace minos::recovery

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Condition variables, mailboxes, and wait-groups for simulated processes.
+ *
+ * These model the "spin until X" primitives of the MINOS algorithms
+ * (ConsistencySpin, PersistencySpin, WRLock spin, ACK collection) in
+ * simulated time without burning host cycles.
+ */
+
+#ifndef MINOS_SIM_CONDITION_HH
+#define MINOS_SIM_CONDITION_HH
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/process.hh"
+
+namespace minos::sim {
+
+/**
+ * A broadcast condition: processes `co_await cond.wait()` and are all
+ * resumed (at the current tick) by notifyAll().
+ *
+ * Typical use is a predicate loop, mirroring a spin:
+ * @code
+ *   while (!pred())
+ *       co_await cond.wait();
+ * @endcode
+ */
+class Condition
+{
+  public:
+    explicit Condition(Simulator &sim) : sim_(sim) {}
+
+    Condition(const Condition &) = delete;
+    Condition &operator=(const Condition &) = delete;
+
+    struct Awaiter
+    {
+        Condition &cond;
+
+        bool await_ready() const noexcept { return false; }
+
+        template <typename P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            static_assert(std::is_base_of_v<PromiseBase, P>);
+            cond.waiters_.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /** Suspend until the next notifyAll(). */
+    Awaiter wait() { return Awaiter{*this}; }
+
+    /** Resume every current waiter at the present tick. */
+    void
+    notifyAll()
+    {
+        if (waiters_.empty())
+            return;
+        std::vector<std::coroutine_handle<>> batch;
+        batch.swap(waiters_);
+        for (auto h : batch)
+            sim_.after(0, [h] { h.resume(); });
+    }
+
+    /** Number of processes currently blocked on this condition. */
+    std::size_t numWaiters() const { return waiters_.size(); }
+
+  private:
+    Simulator &sim_;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * An unbounded FIFO channel of T. send() never blocks; recv() suspends
+ * until an item is available. Each sent item wakes exactly one receiver
+ * and is handed to it directly, so concurrent receivers never observe a
+ * spurious empty queue.
+ */
+template <typename T>
+class Mailbox
+{
+  public:
+    explicit Mailbox(Simulator &sim) : sim_(sim) {}
+
+    Mailbox(const Mailbox &) = delete;
+    Mailbox &operator=(const Mailbox &) = delete;
+
+    struct RecvAwaiter
+    {
+        Mailbox &mb;
+        std::optional<T> slot;
+
+        bool
+        await_ready()
+        {
+            if (!mb.queue_.empty()) {
+                slot.emplace(std::move(mb.queue_.front()));
+                mb.queue_.pop_front();
+                return true;
+            }
+            return false;
+        }
+
+        template <typename P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            static_assert(std::is_base_of_v<PromiseBase, P>);
+            handle = h;
+            mb.receivers_.push_back(this);
+        }
+
+        T
+        await_resume()
+        {
+            MINOS_ASSERT(slot.has_value(), "mailbox recv without item");
+            return std::move(*slot);
+        }
+
+        std::coroutine_handle<> handle;
+    };
+
+    /** Deposit an item; wakes one pending receiver if any. */
+    void
+    send(T item)
+    {
+        if (!receivers_.empty()) {
+            RecvAwaiter *rx = receivers_.front();
+            receivers_.pop_front();
+            rx->slot.emplace(std::move(item));
+            auto h = rx->handle;
+            sim_.after(0, [h] { h.resume(); });
+        } else {
+            queue_.push_back(std::move(item));
+        }
+    }
+
+    /** Receive the next item, suspending if none is queued. */
+    RecvAwaiter recv() { return RecvAwaiter{*this, std::nullopt, {}}; }
+
+    /** Items queued and not yet claimed by a receiver. */
+    std::size_t size() const { return queue_.size(); }
+
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    friend struct RecvAwaiter;
+
+    Simulator &sim_;
+    std::deque<T> queue_;
+    std::deque<RecvAwaiter *> receivers_;
+};
+
+/**
+ * Counts outstanding activities; waiters block until the count returns to
+ * zero. Used by drivers to join a fleet of worker processes.
+ */
+class WaitGroup
+{
+  public:
+    explicit WaitGroup(Simulator &sim) : cond_(sim) {}
+
+    void add(std::size_t n = 1) { count_ += n; }
+
+    void
+    done()
+    {
+        MINOS_ASSERT(count_ > 0, "WaitGroup::done() below zero");
+        if (--count_ == 0)
+            cond_.notifyAll();
+    }
+
+    /** Usable only inside a coroutine. */
+    Task<void>
+    wait()
+    {
+        while (count_ > 0)
+            co_await cond_.wait();
+    }
+
+    std::size_t count() const { return count_; }
+
+  private:
+    Condition cond_;
+    std::size_t count_ = 0;
+};
+
+} // namespace minos::sim
+
+#endif // MINOS_SIM_CONDITION_HH

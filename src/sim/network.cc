@@ -1,0 +1,46 @@
+#include "network.hh"
+
+#include "common/logging.hh"
+
+namespace minos::sim {
+
+Link::Link(Simulator &sim, Tick latency, double bytes_per_sec,
+           Tick per_msg_overhead)
+    : sim_(sim), latency_(latency), bytesPerSec_(bytes_per_sec),
+      perMsgOverhead_(per_msg_overhead)
+{
+    MINOS_ASSERT(latency >= 0, "negative link latency");
+    MINOS_ASSERT(per_msg_overhead >= 0, "negative per-message overhead");
+}
+
+Tick
+Link::serialization(std::uint64_t bytes) const
+{
+    return perMsgOverhead_ + serializationDelay(bytes, bytesPerSec_);
+}
+
+Tick
+Link::transfer(std::uint64_t bytes)
+{
+    return transferFrom(sim_.now(), bytes);
+}
+
+Tick
+Link::transferFrom(Tick earliest, std::uint64_t bytes)
+{
+    Tick start = std::max({sim_.now(), earliest, busyUntil_});
+    Tick depart = start + serialization(bytes);
+    busyUntil_ = depart;
+    bytes_ += bytes;
+    ++messages_;
+    return depart + latency_;
+}
+
+Tick
+Link::previewArrival(std::uint64_t bytes) const
+{
+    Tick start = std::max(sim_.now(), busyUntil_);
+    return start + serialization(bytes) + latency_;
+}
+
+} // namespace minos::sim

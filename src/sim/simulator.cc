@@ -1,0 +1,76 @@
+#include "simulator.hh"
+
+#include <coroutine>
+
+#include "common/logging.hh"
+#include "sim/process.hh"
+
+namespace minos::sim {
+
+Simulator::~Simulator()
+{
+    // Reclaim frames of processes still suspended (e.g. server loops that
+    // wait forever on a mailbox).
+    auto leftover = live_;
+    live_.clear();
+    for (void *frame : leftover)
+        std::coroutine_handle<>::from_address(frame).destroy();
+}
+
+void
+Simulator::schedule(Tick when, std::function<void()> fn)
+{
+    MINOS_ASSERT(when >= now_, "scheduling into the past: ", when,
+                 " < ", now_);
+    queue_.push(Event{when, seq_++, std::move(fn)});
+}
+
+void
+Simulator::after(Tick delay, std::function<void()> fn)
+{
+    MINOS_ASSERT(delay >= 0, "negative delay: ", delay);
+    schedule(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::run()
+{
+    while (!queue_.empty()) {
+        // priority_queue::top() is const; the event is copied out anyway
+        // because executing it may push new events.
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+}
+
+bool
+Simulator::runUntil(Tick limit)
+{
+    while (!queue_.empty()) {
+        if (queue_.top().when > limit) {
+            now_ = limit;
+            return false;
+        }
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+    return true;
+}
+
+void
+Simulator::spawn(Process proc)
+{
+    auto handle = proc.release();
+    MINOS_ASSERT(handle, "spawning an empty Process");
+    handle.promise().sim = this;
+    registerFrame(handle.address());
+    after(0, [handle] { handle.resume(); });
+}
+
+} // namespace minos::sim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The simulator executes a time-ordered queue of events. Model code is
+ * written as C++20 coroutines (see process.hh) so protocol logic reads
+ * like the paper's pseudocode: `co_await delay(t)` advances simulated
+ * time, `co_await cond.wait()` blocks on a condition, and mailboxes model
+ * message queues.
+ *
+ * This is the SimGrid-equivalent substrate used for all MINOS-B and
+ * MINOS-O evaluation experiments (paper §VII).
+ */
+
+#ifndef MINOS_SIM_SIMULATOR_HH
+#define MINOS_SIM_SIMULATOR_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace minos::sim {
+
+class Process;
+
+/**
+ * The discrete-event simulator: an event queue plus the registry of live
+ * coroutine processes.
+ *
+ * Events scheduled for the same tick run in scheduling (FIFO) order, which
+ * keeps runs fully deterministic.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void after(Tick delay, std::function<void()> fn);
+
+    /** Run until the event queue is empty. */
+    void run();
+
+    /**
+     * Run until the event queue is empty or simulated time would pass
+     * @p limit.
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool runUntil(Tick limit);
+
+    /** Start a detached coroutine process (see process.hh). */
+    void spawn(Process proc);
+
+    /** Number of processes that have started but not finished. */
+    std::size_t numLiveProcesses() const { return live_.size(); }
+
+    /** Total events executed so far (for tests and sanity checks). */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    /** @{ Internal: live-process registry used by the coroutine glue. */
+    void registerFrame(void *frame) { live_.insert(frame); }
+    void unregisterFrame(void *frame) { live_.erase(frame); }
+    /** @} */
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::unordered_set<void *> live_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace minos::sim
+
+#endif // MINOS_SIM_SIMULATOR_HH

@@ -1,0 +1,84 @@
+#include "trace.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace minos::sim {
+
+const char *
+traceCategoryName(TraceCategory cat)
+{
+    switch (cat) {
+      case TraceCategory::Protocol: return "proto";
+      case TraceCategory::Message: return "msg";
+      case TraceCategory::Lock: return "lock";
+      case TraceCategory::Fifo: return "fifo";
+      case TraceCategory::Recovery: return "recov";
+    }
+    return "?";
+}
+
+TraceLog::TraceLog(std::size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+    for (auto &e : enabled_)
+        e = true;
+}
+
+void
+TraceLog::setEnabled(TraceCategory cat, bool enabled)
+{
+    enabled_[static_cast<int>(cat)] = enabled;
+}
+
+bool
+TraceLog::enabled(TraceCategory cat) const
+{
+    return enabled_[static_cast<int>(cat)];
+}
+
+void
+TraceLog::record(Tick when, TraceCategory cat, std::int32_t node,
+                 std::string text)
+{
+    if (!enabled(cat))
+        return;
+    ring_[next_] = TraceEvent{when, cat, node, std::move(text)};
+    next_ = (next_ + 1) % ring_.size();
+    used_ = std::min(used_ + 1, ring_.size());
+    ++recorded_;
+}
+
+std::vector<TraceEvent>
+TraceLog::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(used_);
+    // Oldest event sits at next_ when the ring has wrapped.
+    std::size_t start = used_ == ring_.size() ? next_ : 0;
+    for (std::size_t i = 0; i < used_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+TraceLog::str() const
+{
+    std::ostringstream os;
+    for (const auto &e : snapshot()) {
+        os << e.when << "ns [" << traceCategoryName(e.category)
+           << "] node" << e.node << ": " << e.text << "\n";
+    }
+    return os.str();
+}
+
+void
+TraceLog::clear()
+{
+    next_ = 0;
+    used_ = 0;
+    recorded_ = 0;
+}
+
+} // namespace minos::sim

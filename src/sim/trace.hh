@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lightweight protocol event tracing.
+ *
+ * A TraceLog is a fixed-capacity ring buffer of timestamped events with
+ * per-category enablement. The protocol engines record key transitions
+ * (message sends/receipts, lock operations, FIFO activity) when a log
+ * is attached to the cluster configuration; detached (the default), the
+ * record path is a null-pointer check.
+ *
+ * Intended for debugging protocol interleavings: attach a log, run the
+ * failing scenario, dump the chronological event stream.
+ */
+
+#ifndef MINOS_SIM_TRACE_HH
+#define MINOS_SIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace minos::sim {
+
+/** Event categories, individually toggleable. */
+enum class TraceCategory : std::uint8_t
+{
+    Protocol, ///< coordinator/follower algorithm steps
+    Message,  ///< sends and receipts
+    Lock,     ///< RDLock/WRLock transitions
+    Fifo,     ///< vFIFO/dFIFO activity
+    Recovery, ///< membership and log shipping
+};
+
+inline constexpr int numTraceCategories = 5;
+
+/** Human-readable category name. */
+const char *traceCategoryName(TraceCategory cat);
+
+/** One recorded event. */
+struct TraceEvent
+{
+    Tick when = 0;
+    TraceCategory category = TraceCategory::Protocol;
+    std::int32_t node = -1;
+    std::string text;
+};
+
+/** Fixed-capacity ring of trace events. */
+class TraceLog
+{
+  public:
+    /** @param capacity ring size; older events are overwritten. */
+    explicit TraceLog(std::size_t capacity = 4096);
+
+    /** Enable/disable one category (all enabled by default). */
+    void setEnabled(TraceCategory cat, bool enabled);
+    bool enabled(TraceCategory cat) const;
+
+    /** Record an event (dropped if its category is disabled). */
+    void record(Tick when, TraceCategory cat, std::int32_t node,
+                std::string text);
+
+    /** Events currently retained, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Render the snapshot as "time [cat] nodeN: text" lines. */
+    std::string str() const;
+
+    /** Total events ever recorded (including overwritten ones). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    void clear();
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;
+    std::size_t used_ = 0;
+    std::uint64_t recorded_ = 0;
+    bool enabled_[numTraceCategories];
+};
+
+/** Null-safe recording helper used by the engines. */
+inline void
+traceEvent(TraceLog *log, Tick when, TraceCategory cat,
+           std::int32_t node, std::string text)
+{
+    if (log)
+        log->record(when, cat, node, std::move(text));
+}
+
+} // namespace minos::sim
+
+#endif // MINOS_SIM_TRACE_HH

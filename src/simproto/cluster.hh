@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Common interface of the simulated DDP clusters (MINOS-B and MINOS-O).
+ *
+ * The workload driver (driver.hh) runs against this interface, so every
+ * experiment can swap engines and models freely.
+ */
+
+#ifndef MINOS_SIMPROTO_CLUSTER_HH
+#define MINOS_SIMPROTO_CLUSTER_HH
+
+#include "common/units.hh"
+#include "kv/record.hh"
+#include "net/message.hh"
+#include "sim/process.hh"
+#include "simproto/config.hh"
+#include "simproto/models.hh"
+
+namespace minos::simproto {
+
+/** Per-operation result and timing detail. */
+struct OpStats
+{
+    /** End-to-end client latency of the operation. */
+    Tick latencyNs = 0;
+    /**
+     * Communication share (paper §IV): host-send-queue to
+     * host-receive-queue time of the critical-path messages, minus the
+     * average follower handling time. Writes only.
+     */
+    double commNs = 0;
+    /** Computation share: latency minus communication. Writes only. */
+    double compNs = 0;
+    /** Value observed (reads). */
+    kv::Value value = 0;
+    /** The write was cut short as obsolete (§III-A "Outdated Writes"). */
+    bool obsolete = false;
+};
+
+/**
+ * A simulated leaderless DDP cluster: any node can coordinate writes and
+ * serve local reads (paper §II-A).
+ */
+class DdpCluster
+{
+  public:
+    virtual ~DdpCluster() = default;
+
+    /**
+     * Run the client-write algorithm with @p node as Coordinator.
+     * For <Lin, Scope>, @p scope tags the write's scope.
+     * Must be awaited from a simulator process.
+     */
+    virtual sim::Task<OpStats> clientWrite(kv::NodeId node, kv::Key key,
+                                           kv::Value value,
+                                           net::ScopeId scope) = 0;
+
+    /** Run the client-read algorithm locally on @p node. */
+    virtual sim::Task<OpStats> clientRead(kv::NodeId node,
+                                          kv::Key key) = 0;
+
+    /**
+     * Run the [PERSIST]sc transaction of <Lin, Scope> with @p node as
+     * Coordinator. No-op (zero-latency) for other models.
+     */
+    virtual sim::Task<OpStats> persistScope(kv::NodeId node,
+                                            net::ScopeId scope) = 0;
+
+    virtual int numNodes() const = 0;
+    virtual PersistModel model() const = 0;
+};
+
+} // namespace minos::simproto
+
+#endif // MINOS_SIMPROTO_CLUSTER_HH

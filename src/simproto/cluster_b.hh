@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The simulated MINOS-B cluster: N NodeB hosts joined by the Table II/III
+ * fabric (per-node PCIe host<->NIC links, dumb-NIC send engines, and
+ * NIC-to-NIC network links).
+ *
+ * The fabric also implements the message-path variants of the Fig. 12
+ * ablation that apply to MINOS-B (batching and broadcast on a dumb NIC):
+ *  - plain:       one PCIe crossing + one NIC deposit (+ inter-message
+ *                 gap) + one wire serialization per destination;
+ *  - batching:    a single PCIe crossing carrying all destinations, then
+ *                 per-destination NIC unpack + deposit + wire;
+ *  - broadcast:   without batching the host still generates one message
+ *                 per destination, so a dumb NIC has nothing to fan out
+ *                 and the path is unchanged (the paper finds no
+ *                 noticeable effect); with batching, the NIC deposits
+ *                 once and the wire carries one copy.
+ */
+
+#ifndef MINOS_SIMPROTO_CLUSTER_B_HH
+#define MINOS_SIMPROTO_CLUSTER_B_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.hh"
+#include "simproto/node_b.hh"
+
+namespace minos::simproto {
+
+/** MINOS-B cluster (paper §III/§IV) on the simulated machine. */
+class ClusterB : public DdpCluster
+{
+  public:
+    /**
+     * @param opts message-path options for the ablation study; offload
+     *             must be false (that is ClusterO's job).
+     */
+    ClusterB(sim::Simulator &sim, const ClusterConfig &cfg,
+             PersistModel model,
+             OffloadOptions opts = OffloadOptions::minosB());
+
+    sim::Task<OpStats> clientWrite(kv::NodeId node, kv::Key key,
+                                   kv::Value value,
+                                   net::ScopeId scope) override;
+    sim::Task<OpStats> clientRead(kv::NodeId node, kv::Key key) override;
+    sim::Task<OpStats> persistScope(kv::NodeId node,
+                                    net::ScopeId scope) override;
+
+    int numNodes() const override { return cfg_.numNodes; }
+    PersistModel model() const override { return model_; }
+
+    NodeB &node(kv::NodeId id);
+    const ClusterConfig &config() const { return cfg_; }
+    const OffloadOptions &options() const { return opts_; }
+
+    /** Send @p msg (src/dst filled in) through the full B fabric. */
+    void unicast(net::Message msg);
+
+    /**
+     * Fan @p tmpl out from @p src to every other node, honoring the
+     * batching/broadcast options.
+     */
+    void multicast(kv::NodeId src, net::Message tmpl);
+
+  private:
+    /** Per-node fabric state. */
+    struct Fabric
+    {
+        Fabric(sim::Simulator &sim, const ClusterConfig &cfg)
+            : pcieOut(sim, cfg.pcieLatencyNs, cfg.pcieBwBytesPerSec,
+                      cfg.pcieMsgOverheadNs),
+              pcieIn(sim, cfg.pcieLatencyNs, cfg.pcieBwBytesPerSec,
+                     cfg.pcieMsgOverheadNs),
+              netOut(sim, cfg.netLatencyNs, cfg.netBwBytesPerSec)
+        {
+        }
+
+        sim::Link pcieOut; ///< host send queue -> NIC
+        sim::Link pcieIn;  ///< NIC -> host receive queue
+        sim::Link netOut;  ///< NIC egress port -> wire
+        sim::SerialStage nicTx; ///< NIC send engine (deposit + gap)
+    };
+
+    /** NIC deposit cost for a message type (Table III). */
+    Tick depositCost(net::MsgType type) const;
+
+    /** Final delivery: remote PCIe leg + handoff to the dst node. */
+    void deliverAt(Tick wire_arrival, net::Message msg);
+
+    sim::Simulator &sim_;
+    ClusterConfig cfg_;
+    PersistModel model_;
+    OffloadOptions opts_;
+    std::vector<std::unique_ptr<Fabric>> fabric_;
+    std::vector<std::unique_ptr<NodeB>> nodes_;
+};
+
+} // namespace minos::simproto
+
+#endif // MINOS_SIMPROTO_CLUSTER_B_HH

@@ -1,0 +1,40 @@
+#include "counters.hh"
+
+#include <sstream>
+
+namespace minos::simproto {
+
+NodeCounters &
+NodeCounters::operator+=(const NodeCounters &o)
+{
+    invsSent += o.invsSent;
+    valsSent += o.valsSent;
+    acksSent += o.acksSent;
+    invsReceived += o.invsReceived;
+    acksReceived += o.acksReceived;
+    valsReceived += o.valsReceived;
+    writesCoordinated += o.writesCoordinated;
+    writesObsoleteCut += o.writesObsoleteCut;
+    invsObsolete += o.invsObsolete;
+    rdLockSnatches += o.rdLockSnatches;
+    persists += o.persists;
+    return *this;
+}
+
+std::string
+NodeCounters::str() const
+{
+    std::ostringstream os;
+    os << "  sent: INV " << invsSent << ", VAL " << valsSent
+       << ", ACK " << acksSent << "\n"
+       << "  received: INV " << invsReceived << ", ACK "
+       << acksReceived << ", VAL " << valsReceived << "\n"
+       << "  writes coordinated " << writesCoordinated
+       << " (obsolete-cut " << writesObsoleteCut << "), obsolete INVs "
+       << invsObsolete << "\n"
+       << "  RDLock snatches " << rdLockSnatches << ", persists "
+       << persists << "\n";
+    return os.str();
+}
+
+} // namespace minos::simproto

@@ -1,0 +1,181 @@
+#include "driver.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/condition.hh"
+
+namespace minos::simproto {
+
+namespace {
+
+/** Shared run state mutated by the (single-threaded) sim workers. */
+struct RunState
+{
+    RunResult result;
+    Tick lastCompletion = 0;
+};
+
+sim::Process
+worker(sim::Simulator *sim, DdpCluster *cluster, RunState *state,
+       kv::NodeId node, int worker_idx, std::vector<workload::Op> ops,
+       int scope_size, sim::WaitGroup *wg)
+{
+    const bool scoped = cluster->model() == PersistModel::Scope;
+    // Scope ids must be globally unique: compose node/worker/sequence.
+    net::ScopeId scope_seq = 0;
+    auto make_scope = [&] {
+        return (static_cast<net::ScopeId>(node) << 24) |
+               (static_cast<net::ScopeId>(worker_idx) << 16) |
+               ++scope_seq;
+    };
+    net::ScopeId scope = scoped ? make_scope() : 0;
+    int writes_in_scope = 0;
+
+    for (const auto &op : ops) {
+        // Read-modify-write (YCSB F) is a read followed by a write to
+        // the same key.
+        if (op.type == workload::OpType::Read ||
+            op.type == workload::OpType::ReadModifyWrite) {
+            OpStats st = co_await cluster->clientRead(node, op.key);
+            state->result.readLat.add(st.latencyNs);
+            ++state->result.reads;
+        }
+        if (op.type == workload::OpType::Write ||
+            op.type == workload::OpType::ReadModifyWrite) {
+            OpStats st =
+                co_await cluster->clientWrite(node, op.key, op.value,
+                                              scope);
+            state->result.writeLat.add(st.latencyNs);
+            state->result.breakdown.add(st.commNs, st.compNs);
+            ++state->result.writes;
+            if (st.obsolete)
+                ++state->result.obsoleteWrites;
+            if (scoped && ++writes_in_scope >= scope_size) {
+                OpStats ps = co_await cluster->persistScope(node, scope);
+                state->result.persistLat.add(ps.latencyNs);
+                scope = make_scope();
+                writes_in_scope = 0;
+            }
+        }
+        state->lastCompletion =
+            std::max(state->lastCompletion, sim->now());
+    }
+    // Close the trailing scope so its writes get persisted.
+    if (scoped && writes_in_scope > 0) {
+        OpStats ps = co_await cluster->persistScope(node, scope);
+        state->result.persistLat.add(ps.latencyNs);
+        state->lastCompletion =
+            std::max(state->lastCompletion, sim->now());
+    }
+    wg->done();
+}
+
+} // namespace
+
+RunResult
+runWorkload(sim::Simulator &sim, DdpCluster &cluster,
+            const DriverConfig &driver_cfg)
+{
+    RunState state;
+    sim::WaitGroup wg(sim);
+
+    int workers = driver_cfg.workersPerNode;
+    if (workers <= 0)
+        workers = 5; // one per busy host core (Table II)
+
+    for (int n = 0; n < cluster.numNodes(); ++n) {
+        workload::YcsbGenerator gen(driver_cfg.ycsb,
+                                    static_cast<std::uint32_t>(n));
+        auto ops = gen.stream(driver_cfg.requestsPerNode);
+        // Deal the node's stream round-robin to its workers.
+        std::vector<std::vector<workload::Op>> shares(
+            static_cast<std::size_t>(workers));
+        for (std::size_t i = 0; i < ops.size(); ++i)
+            shares[i % static_cast<std::size_t>(workers)].push_back(
+                ops[i]);
+        for (int w = 0; w < workers; ++w) {
+            wg.add();
+            sim.spawn(worker(&sim, &cluster, &state,
+                             static_cast<kv::NodeId>(n), w,
+                             std::move(shares[static_cast<std::size_t>(
+                                 w)]),
+                             driver_cfg.scopeSize, &wg));
+        }
+    }
+
+    sim.run();
+    MINOS_ASSERT(wg.count() == 0,
+                 "workload did not finish: ", wg.count(),
+                 " workers still pending (protocol deadlock?)");
+    state.result.duration = state.lastCompletion;
+    return state.result;
+}
+
+namespace {
+
+sim::Process
+microWorker(sim::Simulator *sim, DdpCluster *cluster,
+            MicroserviceResult *result, const workload::FunctionSpec spec,
+            kv::NodeId node, int worker_idx, int invocations,
+            std::uint64_t num_records, std::uint64_t seed,
+            sim::WaitGroup *wg)
+{
+    Rng rng(seed * 0x2545F4914F6CDD1Dull + node * 131 + worker_idx);
+    UniformKeys keys(num_records);
+    std::uint64_t next_value =
+        (static_cast<std::uint64_t>(node) << 40) |
+        (static_cast<std::uint64_t>(worker_idx) << 32);
+    const bool scoped = cluster->model() == PersistModel::Scope;
+    net::ScopeId scope_seq = 0;
+
+    for (int i = 0; i < invocations; ++i) {
+        Tick t0 = sim->now();
+        // Client -> service round trip(s) over the datacenter network.
+        co_await sim::delay(spec.serviceRtts * spec.rttNs);
+        auto ops = workload::invocationOps(spec, keys, rng, next_value);
+        net::ScopeId scope = 0;
+        if (scoped) {
+            scope = (static_cast<net::ScopeId>(node) << 20) |
+                    (static_cast<net::ScopeId>(worker_idx) << 16) |
+                    ++scope_seq;
+        }
+        for (const auto &op : ops) {
+            if (op.type == workload::OpType::Write)
+                co_await cluster->clientWrite(node, op.key, op.value,
+                                              scope);
+            else
+                co_await cluster->clientRead(node, op.key);
+        }
+        if (scoped)
+            co_await cluster->persistScope(node, scope);
+        result->e2eLat.add(sim->now() - t0);
+    }
+    wg->done();
+}
+
+} // namespace
+
+MicroserviceResult
+runMicroservice(sim::Simulator &sim, DdpCluster &cluster,
+                const workload::FunctionSpec &spec,
+                const MicroserviceConfig &mcfg)
+{
+    MicroserviceResult result;
+    sim::WaitGroup wg(sim);
+    for (int n = 0; n < cluster.numNodes(); ++n) {
+        for (int w = 0; w < mcfg.workersPerNode; ++w) {
+            wg.add();
+            sim.spawn(microWorker(&sim, &cluster, &result, spec,
+                                  static_cast<kv::NodeId>(n), w,
+                                  mcfg.invocationsPerNode,
+                                  mcfg.numRecords, mcfg.seed, &wg));
+        }
+    }
+    sim.run();
+    MINOS_ASSERT(wg.count() == 0, "microservice run did not finish");
+    return result;
+}
+
+} // namespace minos::simproto

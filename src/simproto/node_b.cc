@@ -1,0 +1,793 @@
+#include "node_b.hh"
+
+#include "simproto/cluster_b.hh"
+
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace minos::simproto {
+
+using kv::Key;
+using kv::NodeId;
+using kv::Record;
+using kv::Timestamp;
+using kv::Value;
+using net::Message;
+using net::MsgType;
+using net::ScopeId;
+
+NodeB::NodeB(sim::Simulator &sim, ClusterB &cluster,
+             const ClusterConfig &cfg, PersistModel model, NodeId id)
+    : sim_(sim), cluster_(cluster), cfg_(cfg), model_(model), id_(id),
+      store_(cfg.numRecords), nvm_(cfg.persistNsPerKb),
+      cores_(sim, cfg.hostCores), rx_(sim), progress_(sim)
+{
+    sim_.spawn(dispatcher());
+}
+
+// ---------------------------------------------------------------------
+// Primitives (paper §III-A)
+// ---------------------------------------------------------------------
+
+bool
+NodeB::obsolete(const Record &rec, const Timestamp &ts) const
+{
+    return kv::isObsolete(rec, ts);
+}
+
+sim::Task<void>
+NodeB::handleObsolete(Key key, Timestamp observed)
+{
+    Record &rec = store_.at(key);
+    // ConsistencySpin: wait until the newer write that obsoleted us is
+    // visible cluster-wide (its glb_volatileTS reflects it).
+    while (rec.glbVolatileTs < observed)
+        co_await progress_.wait();
+    // PersistencySpin: only models that stall accesses on outstanding
+    // persists need it (Fig. 3: Event and Scope skip it).
+    if (needsPersistencySpin(model_)) {
+        while (rec.glbDurableTs < observed)
+            co_await progress_.wait();
+    }
+}
+
+void
+NodeB::snatchRdLock(Record &rec, const Timestamp &ts)
+{
+    // (i) free -> grab; (ii) held by an older write -> snatch;
+    // (iii) held by a younger write -> continue without it.
+    if (rec.rdLockOwner < ts) {
+        rec.rdLockOwner = ts;
+        ++counters_.rdLockSnatches;
+    }
+}
+
+void
+NodeB::releaseRdLockIfOwner(Record &rec, const Timestamp &ts)
+{
+    if (rec.rdLockOwner == ts) {
+        rec.rdLockOwner = Timestamp::none();
+        if (cfg_.trace) {
+            std::ostringstream os;
+            os << "RDLock released by " << ts;
+            cfg_.trace->record(sim_.now(), sim::TraceCategory::Lock,
+                               id_, os.str());
+        }
+        progress_.notifyAll();
+    }
+}
+
+sim::Task<void>
+NodeB::grabWrLock(Record &rec)
+{
+    for (;;) {
+        // One CAS attempt costs the host synchronization latency.
+        co_await cores_.compute(cfg_.hostSyncNs);
+        if (!rec.wrLock) {
+            rec.wrLock = true;
+            co_return;
+        }
+        while (rec.wrLock)
+            co_await progress_.wait();
+    }
+}
+
+void
+NodeB::releaseWrLock(Record &rec)
+{
+    rec.wrLock = false;
+    progress_.notifyAll();
+}
+
+void
+NodeB::raiseGlbVolatile(Record &rec, const Timestamp &ts)
+{
+    if (rec.glbVolatileTs < ts) {
+        rec.glbVolatileTs = ts;
+        progress_.notifyAll();
+    }
+}
+
+void
+NodeB::raiseGlbDurable(Record &rec, const Timestamp &ts)
+{
+    if (rec.glbDurableTs < ts) {
+        rec.glbDurableTs = ts;
+        progress_.notifyAll();
+    }
+}
+
+Timestamp
+NodeB::makeWriteTs(Key key, Record &rec)
+{
+    // Paper: version = coordinator's volatileTS version + 1. Concurrent
+    // local writers would collide on that rule alone, so a per-record
+    // monotonic guard keeps locally-issued TS_WR unique; cross-node ties
+    // are broken by node_id as usual.
+    auto &next = nextLocalVersion_[key];
+    std::int64_t ver = std::max(rec.volatileTs.version + 1, next);
+    next = ver + 1;
+    return Timestamp{ver, id_};
+}
+
+sim::Task<void>
+NodeB::persistToNvm(Key key, Value value, Timestamp ts, ScopeId)
+{
+    // The core issues the persist (flush/drain instructions) and then
+    // waits for the medium off-core; the event-driven runtime serves
+    // other work meanwhile.
+    Tick lat = nvm_.persistLatency(cfg_.recordBytes);
+    Tick issue = std::min<Tick>(lat, 200);
+    co_await cores_.compute(issue);
+    co_await sim::delay(lat - issue);
+    log_.append({key, value, ts});
+    ++counters_.persists;
+}
+
+void
+NodeB::persistInBackground(Key key, Value value, Timestamp ts,
+                           ScopeId scope)
+{
+    if (isScopeModel(model_))
+        ++scopeUnpersisted_[scope];
+    struct Launcher
+    {
+        static sim::Process
+        run(NodeB *self, Key key, Value value, Timestamp ts,
+            ScopeId scope)
+        {
+            co_await self->persistToNvm(key, value, ts, scope);
+            if (isScopeModel(self->model_)) {
+                if (--self->scopeUnpersisted_[scope] == 0)
+                    self->progress_.notifyAll();
+            }
+            // The REnf coordinator's background tail gates on the local
+            // persist completing.
+            auto it = self->pending_.find(txnKey(key, ts));
+            if (it != self->pending_.end() && ts.node == self->id_) {
+                it->second.localPersistDone = true;
+                self->progress_.notifyAll();
+            }
+        }
+    };
+    sim_.spawn(Launcher::run(this, key, value, ts, scope));
+}
+
+// ---------------------------------------------------------------------
+// Message-type selection per model
+// ---------------------------------------------------------------------
+
+MsgType
+NodeB::invType() const
+{
+    return isScopeModel(model_) ? MsgType::INV_SC : MsgType::INV;
+}
+
+MsgType
+NodeB::ackCType() const
+{
+    if (model_ == PersistModel::Synch)
+        return MsgType::ACK;
+    return isScopeModel(model_) ? MsgType::ACK_C_SC : MsgType::ACK_C;
+}
+
+MsgType
+NodeB::valCType() const
+{
+    switch (model_) {
+      case PersistModel::Synch:
+      case PersistModel::REnf:
+        return MsgType::VAL;
+      case PersistModel::Strict:
+      case PersistModel::Event:
+        return MsgType::VAL_C;
+      case PersistModel::Scope:
+        return MsgType::VAL_C_SC;
+    }
+    return MsgType::VAL;
+}
+
+// ---------------------------------------------------------------------
+// Messaging
+// ---------------------------------------------------------------------
+
+void
+NodeB::sendInvs(Key key, Value value, Timestamp ts, ScopeId scope)
+{
+    Message m;
+    m.type = invType();
+    m.src = id_;
+    m.key = key;
+    m.tsWr = ts;
+    m.value = value;
+    m.scope = scope;
+    m.sizeBytes = cfg_.recordBytes + net::controlMsgBytes;
+    counters_.invsSent += static_cast<std::uint64_t>(cfg_.followers());
+    cluster_.multicast(id_, m);
+}
+
+void
+NodeB::sendVals(MsgType type, Key key, Timestamp ts, ScopeId scope)
+{
+    Message m;
+    m.type = type;
+    m.src = id_;
+    m.key = key;
+    m.tsWr = ts;
+    m.scope = scope;
+    m.sizeBytes = net::controlMsgBytes;
+    counters_.valsSent += static_cast<std::uint64_t>(cfg_.followers());
+    cluster_.multicast(id_, m);
+}
+
+sim::Task<void>
+NodeB::sendResponse(const Message &req, MsgType type, Tick handle_ns)
+{
+    co_await cores_.compute(cfg_.hostSendNs);
+    ++counters_.acksSent;
+    Message resp = net::makeResponse(req, type);
+    resp.handleNs = handle_ns;
+    cluster_.unicast(resp);
+}
+
+void
+NodeB::deliver(Message msg)
+{
+    rx_.send(std::move(msg));
+}
+
+// ---------------------------------------------------------------------
+// Client-write (Coordinator, Fig. 2 left / Fig. 3 deltas)
+// ---------------------------------------------------------------------
+
+sim::Task<OpStats>
+NodeB::clientWrite(Key key, Value value, ScopeId scope)
+{
+    OpStats st;
+    Tick t0 = sim_.now();
+    ++counters_.writesCoordinated;
+    co_await cores_.compute(cfg_.clientReqNs);
+
+    Record &rec = store_.at(key);
+    Timestamp ts = makeWriteTs(key, rec);
+
+    // Line 5: early obsoleteness check.
+    if (obsolete(rec, ts)) {
+        Timestamp observed = rec.volatileTs;
+        co_await handleObsolete(key, observed);
+        st.obsolete = true;
+        st.latencyNs = sim_.now() - t0;
+        st.compNs = static_cast<double>(st.latencyNs);
+        co_return st;
+    }
+
+    // Line 8: Snatch RDLock (one CAS).
+    co_await cores_.compute(cfg_.hostSyncNs);
+    snatchRdLock(rec, ts);
+
+    // Line 9: grab WRLock (spin).
+    co_await grabWrLock(rec);
+
+    bool sent = false;
+    PendingTxn *txn = nullptr;
+    // Line 10: final timestamp check under the WRLock.
+    if (!obsolete(rec, ts)) {
+        auto [it, inserted] = pending_.emplace(txnKey(key, ts), PendingTxn{});
+        MINOS_ASSERT(inserted, "duplicate TS_WR ", ts);
+        txn = &it->second;
+        txn->needed = cfg_.followers();
+
+        // Line 11: send INVs to all Followers.
+        co_await cores_.compute(
+            opts().batching ? cfg_.hostSendNs
+                            : cfg_.hostSendNs * cfg_.followers());
+        txn->tFirstSend = sim_.now();
+        sendInvs(key, value, ts, scope);
+        if (cfg_.trace) {
+            std::ostringstream os;
+            os << "coordinator " << ts << " INV fan-out key=" << key;
+            cfg_.trace->record(sim_.now(),
+                               sim::TraceCategory::Message, id_,
+                               os.str());
+        }
+        sent = true;
+
+        // Line 12: update local volatile state (LLC) + volatileTS.
+        co_await cores_.compute(cfg_.llcWriteNs);
+        rec.value = value;
+        rec.volatileTs = ts;
+        progress_.notifyAll();
+
+        // Line 13: release WRLock.
+        releaseWrLock(rec);
+    } else {
+        st.obsolete = true;
+        ++counters_.writesObsoleteCut;
+        Timestamp observed = rec.volatileTs;
+        // Lines 15-16: release WRLock first, then handleObsolete.
+        releaseWrLock(rec);
+        co_await handleObsolete(key, observed);
+        // Lines 20-21 apply on this path too: if the (already complete)
+        // newer write released the RDLock before our snatch, we may be a
+        // stale owner; release so reads are not blocked forever.
+        releaseRdLockIfOwner(rec, ts);
+    }
+
+    if (!sent) {
+        st.latencyNs = sim_.now() - t0;
+        st.compNs = static_cast<double>(st.latencyNs);
+        co_return st;
+    }
+
+    // Line 18 / Fig. 3 step d: persist to NVM (critical path only for
+    // Synch and Strict; background otherwise).
+    if (persistOnCriticalPath(model_)) {
+        co_await persistToNvm(key, value, ts, scope);
+        txn->localPersistDone = true;
+    } else {
+        persistInBackground(key, value, ts, scope);
+    }
+
+    // Line 19 / Fig. 3 step e: wait for the gating ACK set.
+    co_await waitClientGate(*txn);
+
+    // Post-gate per-model completion (Fig. 2 lines 20-22, Fig. 3 f).
+    switch (model_) {
+      case PersistModel::Synch:
+        raiseGlbVolatile(rec, ts);
+        raiseGlbDurable(rec, ts);
+        releaseRdLockIfOwner(rec, ts);
+        co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
+        sendVals(MsgType::VAL, key, ts, scope);
+        pending_.erase(txnKey(key, ts));
+        break;
+
+      case PersistModel::Strict: {
+        // Gate was ACK_C; send VAL_Cs, then spin for ACK_Ps, then
+        // VAL_Ps (Fig. 3(i) step f).
+        raiseGlbVolatile(rec, ts);
+        releaseRdLockIfOwner(rec, ts);
+        co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
+        sendVals(MsgType::VAL_C, key, ts, scope);
+        while (txn->acksP < txn->needed || !txn->localPersistDone)
+            co_await progress_.wait();
+        raiseGlbDurable(rec, ts);
+        co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
+        sendVals(MsgType::VAL_P, key, ts, scope);
+        pending_.erase(txnKey(key, ts));
+        break;
+      }
+
+      case PersistModel::REnf:
+        // Return to the client after all ACK_Cs; the RDLock stays held
+        // and VALs go out when all ACK_Ps have arrived (Fig. 3(iii)).
+        raiseGlbVolatile(rec, ts);
+        sim_.spawn(renfTail(key, ts));
+        break;
+
+      case PersistModel::Event:
+      case PersistModel::Scope:
+        raiseGlbVolatile(rec, ts);
+        releaseRdLockIfOwner(rec, ts);
+        co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
+        sendVals(valCType(), key, ts, scope);
+        pending_.erase(txnKey(key, ts));
+        break;
+    }
+
+    st.latencyNs = sim_.now() - t0;
+    // Communication/computation split (paper §IV): message in-flight
+    // window minus the average follower handling time.
+    if (txn->handleCnt > 0 && txn->tGateAck > txn->tFirstSend) {
+        double handle_avg = static_cast<double>(txn->handleNsSum) /
+                            txn->handleCnt;
+        double comm =
+            static_cast<double>(txn->tGateAck - txn->tFirstSend) -
+            handle_avg;
+        if (comm < 0)
+            comm = 0;
+        if (comm > static_cast<double>(st.latencyNs))
+            comm = static_cast<double>(st.latencyNs);
+        st.commNs = comm;
+    }
+    st.compNs = static_cast<double>(st.latencyNs) - st.commNs;
+    co_return st;
+}
+
+sim::Task<void>
+NodeB::waitClientGate(PendingTxn &txn)
+{
+    switch (model_) {
+      case PersistModel::Synch:
+        while (txn.acks < txn.needed)
+            co_await progress_.wait();
+        break;
+      case PersistModel::Strict:
+        while (txn.acksC < txn.needed)
+            co_await progress_.wait();
+        // Client return additionally needs all ACK_Ps; but VAL_C goes
+        // out first (handled by the caller).
+        break;
+      case PersistModel::REnf:
+      case PersistModel::Event:
+      case PersistModel::Scope:
+        while (txn.acksC < txn.needed)
+            co_await progress_.wait();
+        break;
+    }
+}
+
+sim::Process
+NodeB::renfTail(Key key, Timestamp ts)
+{
+    Record &rec = store_.at(key);
+    auto it = pending_.find(txnKey(key, ts));
+    MINOS_ASSERT(it != pending_.end(), "REnf tail without pending txn");
+    PendingTxn &txn = it->second;
+    while (txn.acksP < txn.needed || !txn.localPersistDone)
+        co_await progress_.wait();
+    raiseGlbDurable(rec, ts);
+    releaseRdLockIfOwner(rec, ts);
+    co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
+    sendVals(MsgType::VAL, key, ts, /*scope=*/0);
+    pending_.erase(txnKey(key, ts));
+}
+
+// ---------------------------------------------------------------------
+// Client-read (paper §III-D)
+// ---------------------------------------------------------------------
+
+sim::Task<OpStats>
+NodeB::clientRead(Key key)
+{
+    OpStats st;
+    Tick t0 = sim_.now();
+    co_await cores_.compute(cfg_.clientReqNs);
+    Record &rec = store_.at(key);
+    // A read stalls only while the RDLock is taken by a write.
+    while (!rec.rdLockFree())
+        co_await progress_.wait();
+    co_await cores_.compute(cfg_.llcReadNs);
+    st.value = rec.value;
+    st.latencyNs = sim_.now() - t0;
+    st.compNs = static_cast<double>(st.latencyNs);
+    co_return st;
+}
+
+// ---------------------------------------------------------------------
+// [PERSIST]sc transaction (<Lin, Scope>, paper §III-C)
+// ---------------------------------------------------------------------
+
+sim::Task<OpStats>
+NodeB::persistScope(ScopeId scope)
+{
+    OpStats st;
+    Tick t0 = sim_.now();
+    if (!isScopeModel(model_))
+        co_return st;
+
+    co_await cores_.compute(cfg_.clientReqNs);
+    auto [it, inserted] = scopePending_.emplace(scope, PendingTxn{});
+    MINOS_ASSERT(inserted, "duplicate [PERSIST]sc for scope ", scope);
+    PendingTxn &txn = it->second;
+    txn.needed = cfg_.followers();
+
+    // Send [PERSIST]sc to all followers.
+    co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
+    Message m;
+    m.type = MsgType::PERSIST_SC;
+    m.src = id_;
+    m.scope = scope;
+    m.sizeBytes = net::controlMsgBytes;
+    cluster_.multicast(id_, m);
+
+    // Complete persisting all local WRs inside the scope, then the
+    // [PERSIST]sc marker itself.
+    while (scopeUnpersisted_[scope] > 0)
+        co_await progress_.wait();
+    co_await cores_.compute(nvm_.persistLatency(net::controlMsgBytes));
+
+    // Spin for all [ACK_P]sc, then send [VAL_P]sc.
+    while (txn.acksP < txn.needed)
+        co_await progress_.wait();
+    co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
+    Message val;
+    val.type = MsgType::VAL_P_SC;
+    val.src = id_;
+    val.scope = scope;
+    val.sizeBytes = net::controlMsgBytes;
+    cluster_.multicast(id_, val);
+    scopePending_.erase(scope);
+
+    st.latencyNs = sim_.now() - t0;
+    st.compNs = static_cast<double>(st.latencyNs);
+    co_return st;
+}
+
+// ---------------------------------------------------------------------
+// Receive side
+// ---------------------------------------------------------------------
+
+sim::Process
+NodeB::dispatcher()
+{
+    for (;;) {
+        Message m = co_await rx_.recv();
+        sim_.spawn(handleMessage(std::move(m)));
+    }
+}
+
+sim::Process
+NodeB::handleMessage(Message msg)
+{
+    // Handling time starts when the message sits in the host receive
+    // queue (paper SIV's communication/computation boundary).
+    Tick t_rx = sim_.now();
+    co_await cores_.compute(cfg_.dispatchNs);
+    switch (msg.type) {
+      case MsgType::INV:
+      case MsgType::INV_SC:
+        ++counters_.invsReceived;
+        co_await onInv(msg, t_rx);
+        break;
+      case MsgType::ACK:
+      case MsgType::ACK_C:
+      case MsgType::ACK_P:
+      case MsgType::ACK_C_SC:
+      case MsgType::ACK_P_SC:
+        ++counters_.acksReceived;
+        co_await onAck(msg, t_rx);
+        break;
+      case MsgType::VAL:
+      case MsgType::VAL_C:
+      case MsgType::VAL_P:
+      case MsgType::VAL_C_SC:
+      case MsgType::VAL_P_SC:
+        ++counters_.valsReceived;
+        co_await onVal(msg);
+        break;
+      case MsgType::PERSIST_SC:
+        co_await onPersistSc(msg, t_rx);
+        break;
+    }
+}
+
+sim::Task<void>
+NodeB::onInv(Message msg, Tick t_handle0)
+{
+    Record &rec = store_.at(msg.key);
+
+    // Lines 27-30: obsolete INV -> spin as required, then ACK as if the
+    // write was performed. The VAL received later is discarded.
+    if (obsolete(rec, msg.tsWr)) {
+        ++obsoleteInvs_;
+        ++counters_.invsObsolete;
+        if (cfg_.trace) {
+            std::ostringstream os;
+            os << "INV " << msg.tsWr << " obsolete vs "
+               << rec.volatileTs << " key=" << msg.key;
+            cfg_.trace->record(sim_.now(),
+                               sim::TraceCategory::Protocol, id_,
+                               os.str());
+        }
+        Timestamp observed = rec.volatileTs;
+        if (usesSplitAcks(model_)) {
+            // Fig. 3(ii)/(iv)/(vi)/(viii): ConsistencySpin, ACK_C, then
+            // (Strict/REnf only) PersistencySpin, ACK_P.
+            while (rec.glbVolatileTs < observed)
+                co_await progress_.wait();
+            co_await sendResponse(msg, ackCType(),
+                                  sim_.now() - t_handle0);
+            if (tracksPersistPerWrite(model_)) {
+                while (rec.glbDurableTs < observed)
+                    co_await progress_.wait();
+                co_await sendResponse(msg, MsgType::ACK_P,
+                                      sim_.now() - t_handle0);
+            }
+        } else {
+            co_await handleObsolete(msg.key, observed);
+            co_await sendResponse(msg, MsgType::ACK,
+                                  sim_.now() - t_handle0);
+        }
+        co_return;
+    }
+
+    // Lines 31-33: snatch RDLock, grab WRLock.
+    co_await cores_.compute(cfg_.hostSyncNs);
+    snatchRdLock(rec, msg.tsWr);
+    co_await grabWrLock(rec);
+
+    // Lines 34-38: re-check, update LLC or handle obsolete.
+    if (!obsolete(rec, msg.tsWr)) {
+        co_await cores_.compute(cfg_.llcWriteNs);
+        rec.value = msg.value;
+        rec.volatileTs = msg.tsWr;
+        if (cfg_.trace) {
+            std::ostringstream os;
+            os << "INV " << msg.tsWr << " applied key=" << msg.key;
+            cfg_.trace->record(sim_.now(),
+                               sim::TraceCategory::Protocol, id_,
+                               os.str());
+        }
+        progress_.notifyAll();
+        releaseWrLock(rec);
+    } else {
+        ++obsoleteInvs_;
+        Timestamp observed = rec.volatileTs;
+        releaseWrLock(rec);
+        if (usesSplitAcks(model_)) {
+            while (rec.glbVolatileTs < observed)
+                co_await progress_.wait();
+            co_await sendResponse(msg, ackCType(),
+                                  sim_.now() - t_handle0);
+            if (tracksPersistPerWrite(model_)) {
+                while (rec.glbDurableTs < observed)
+                    co_await progress_.wait();
+                co_await sendResponse(msg, MsgType::ACK_P,
+                                      sim_.now() - t_handle0);
+            }
+        } else {
+            co_await handleObsolete(msg.key, observed);
+            co_await sendResponse(msg, MsgType::ACK,
+                                  sim_.now() - t_handle0);
+        }
+        // We snatched before discovering obsoleteness; if the newer
+        // write already came and went, we are a stale owner — release
+        // so local reads are not blocked forever.
+        releaseRdLockIfOwner(rec, msg.tsWr);
+        co_return;
+    }
+
+    // Lines 39-40 / Fig. 3 follower deltas: persist + acknowledge.
+    switch (model_) {
+      case PersistModel::Synch:
+        // Persist in the critical path, then the single combined ACK.
+        co_await persistToNvm(msg.key, msg.value, msg.tsWr, msg.scope);
+        co_await sendResponse(msg, MsgType::ACK, sim_.now() - t_handle0);
+        break;
+
+      case PersistModel::Strict:
+      case PersistModel::REnf:
+        // ACK_C right after the LLC update; ACK_P after the persist.
+        co_await sendResponse(msg, MsgType::ACK_C,
+                              sim_.now() - t_handle0);
+        co_await persistToNvm(msg.key, msg.value, msg.tsWr, msg.scope);
+        co_await sendResponse(msg, MsgType::ACK_P,
+                              sim_.now() - t_handle0);
+        break;
+
+      case PersistModel::Event:
+      case PersistModel::Scope:
+        // ACK_C after the LLC update; persist in the background.
+        co_await sendResponse(msg, ackCType(), sim_.now() - t_handle0);
+        persistInBackground(msg.key, msg.value, msg.tsWr, msg.scope);
+        break;
+    }
+}
+
+sim::Task<void>
+NodeB::onAck(Message msg, Tick t_rx)
+{
+    co_await cores_.compute(cfg_.bookkeepNs);
+    if (msg.type == MsgType::ACK_P_SC) {
+        // [PERSIST]sc acknowledgement.
+        auto it = scopePending_.find(msg.scope);
+        if (it != scopePending_.end()) {
+            ++it->second.acksP;
+            progress_.notifyAll();
+        }
+        co_return;
+    }
+
+    auto it = pending_.find(txnKey(msg.key, msg.tsWr));
+    if (it == pending_.end())
+        co_return; // stray ACK for a completed transaction
+    PendingTxn &txn = it->second;
+
+    // Which ACK family gates the client response for this model?
+    MsgType gate;
+    switch (model_) {
+      case PersistModel::Synch: gate = MsgType::ACK; break;
+      case PersistModel::Strict: gate = MsgType::ACK_P; break;
+      case PersistModel::Scope: gate = MsgType::ACK_C_SC; break;
+      default: gate = MsgType::ACK_C; break;
+    }
+
+    switch (msg.type) {
+      case MsgType::ACK: ++txn.acks; break;
+      case MsgType::ACK_C:
+      case MsgType::ACK_C_SC: ++txn.acksC; break;
+      case MsgType::ACK_P: ++txn.acksP; break;
+      default:
+        MINOS_PANIC("unexpected ACK type ", net::msgTypeName(msg.type));
+    }
+    if (msg.type == gate) {
+        // The communication window ends when the ACK reaches the host
+        // receive queue (paper SIV), not when this handler runs.
+        txn.tGateAck = t_rx;
+        txn.handleNsSum += msg.handleNs;
+        ++txn.handleCnt;
+    }
+    progress_.notifyAll();
+}
+
+sim::Task<void>
+NodeB::onVal(Message msg)
+{
+    co_await cores_.compute(cfg_.bookkeepNs);
+    Record &rec = store_.at(msg.key);
+    switch (msg.type) {
+      case MsgType::VAL:
+        // Synch and REnf: single VAL marks consistency + persistency.
+        raiseGlbVolatile(rec, msg.tsWr);
+        raiseGlbDurable(rec, msg.tsWr);
+        releaseRdLockIfOwner(rec, msg.tsWr);
+        break;
+      case MsgType::VAL_C:
+      case MsgType::VAL_C_SC:
+        raiseGlbVolatile(rec, msg.tsWr);
+        releaseRdLockIfOwner(rec, msg.tsWr);
+        break;
+      case MsgType::VAL_P:
+        raiseGlbDurable(rec, msg.tsWr);
+        break;
+      case MsgType::VAL_P_SC:
+        // Terminates the [PERSIST]sc transaction at the follower.
+        break;
+      default:
+        MINOS_PANIC("unexpected VAL type ", net::msgTypeName(msg.type));
+    }
+    co_return;
+}
+
+sim::Task<void>
+NodeB::onPersistSc(Message msg, Tick t_handle0)
+{
+    // Complete persisting all WRs of the scope, persist the [PERSIST]sc
+    // itself, then acknowledge.
+    while (scopeUnpersisted_[msg.scope] > 0)
+        co_await progress_.wait();
+    co_await cores_.compute(nvm_.persistLatency(net::controlMsgBytes));
+    co_await sendResponse(msg, MsgType::ACK_P_SC, sim_.now() - t_handle0);
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+nvm::DurableDb
+NodeB::durableDb() const
+{
+    nvm::DurableDb db;
+    log_.applyTo(db);
+    return db;
+}
+
+const OffloadOptions &
+NodeB::opts() const
+{
+    return cluster_.options();
+}
+
+} // namespace minos::simproto

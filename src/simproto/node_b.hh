@@ -1,0 +1,223 @@
+/**
+ * @file
+ * MINOS-Baseline node: the detailed leaderless DDP write/read algorithms
+ * of paper §III running on the host CPU (Fig. 2 for <Lin, Synch>, Fig. 3
+ * deltas for the other persistency models).
+ *
+ * Protocol structure per client-write (Coordinator):
+ *  1. generate TS_WR from the local record's volatileTS;
+ *  2. obsoleteness check -> handleObsolete() (ConsistencySpin +
+ *     PersistencySpin) and early return;
+ *  3. Snatch RDLock; grab WRLock; re-check obsoleteness;
+ *  4. send INVs to all Followers, update the local LLC copy, release
+ *     WRLock;
+ *  5. persist to the NVM log (critical path only for Synch/Strict);
+ *  6. wait for the per-model ACK set; raise glb_volatileTS /
+ *     glb_durableTS; release RDLock if still owner; send VALs.
+ *
+ * The Follower mirrors steps 2-5 and acknowledges; its RDLock is released
+ * by the VAL.
+ */
+
+#ifndef MINOS_SIMPROTO_NODE_B_HH
+#define MINOS_SIMPROTO_NODE_B_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/store.hh"
+#include "net/message.hh"
+#include "nvm/log.hh"
+#include "nvm/model.hh"
+#include "sim/condition.hh"
+#include "sim/network.hh"
+#include "simproto/cluster.hh"
+#include "simproto/counters.hh"
+
+namespace minos::simproto {
+
+class ClusterB;
+
+/** One MINOS-B node: host CPU protocol engine + dumb NIC. */
+class NodeB
+{
+  public:
+    NodeB(sim::Simulator &sim, ClusterB &cluster,
+          const ClusterConfig &cfg, PersistModel model, kv::NodeId id);
+
+    NodeB(const NodeB &) = delete;
+    NodeB &operator=(const NodeB &) = delete;
+
+    kv::NodeId id() const { return id_; }
+
+    /** Coordinator client-write algorithm (Fig. 2 left / Fig. 3). */
+    sim::Task<OpStats> clientWrite(kv::Key key, kv::Value value,
+                                   net::ScopeId scope);
+
+    /** Local client-read: stalls only while the RDLock is taken. */
+    sim::Task<OpStats> clientRead(kv::Key key);
+
+    /** Coordinator side of the [PERSIST]sc transaction (<Lin,Scope>). */
+    sim::Task<OpStats> persistScope(net::ScopeId scope);
+
+    /** Deliver a message into this node's host receive queue. */
+    void deliver(net::Message msg);
+
+    /** @{ Introspection for tests and invariant checks. */
+    const kv::Record &record(kv::Key key) const { return store_.at(key); }
+    const nvm::DurableLog &log() const { return log_; }
+    std::size_t pendingTxns() const { return pending_.size(); }
+    /** INVs this node cut short as obsolete (follower side). */
+    std::uint64_t obsoleteInvs() const { return obsoleteInvs_; }
+    /** Protocol activity counters. */
+    const NodeCounters &counters() const { return counters_; }
+    /** @} */
+
+    /** Durable database obtained by replaying this node's NVM log. */
+    nvm::DurableDb durableDb() const;
+
+  private:
+    /** Coordinator-side bookkeeping for one outstanding client-write. */
+    struct PendingTxn
+    {
+        int needed = 0;  ///< number of followers
+        int acks = 0;    ///< combined ACKs (Synch)
+        int acksC = 0;   ///< consistency ACKs
+        int acksP = 0;   ///< persistency ACKs
+        Tick tFirstSend = 0;
+        Tick tGateAck = 0;      ///< arrival of the last gating ACK
+        Tick handleNsSum = 0;   ///< follower handling time, gating ACKs
+        int handleCnt = 0;
+        bool localPersistDone = false; ///< coordinator's own persist
+    };
+
+    // ---- protocol helpers (paper §III-A primitives) ----
+
+    /** Obsolete(TS_WR): local volatile copy already newer? */
+    bool obsolete(const kv::Record &rec, const kv::Timestamp &ts) const;
+
+    /**
+     * handleObsolete(): ConsistencySpin (wait glb_volatileTS to reach the
+     * newer write) then, for Synch/Strict/REnf, PersistencySpin (wait
+     * glb_durableTS).
+     */
+    sim::Task<void> handleObsolete(kv::Key key, kv::Timestamp observed);
+
+    /** Snatch RDLock: take it unless a younger write holds it. */
+    void snatchRdLock(kv::Record &rec, const kv::Timestamp &ts);
+
+    /** Release RDLock if @p ts is still the owner. */
+    void releaseRdLockIfOwner(kv::Record &rec, const kv::Timestamp &ts);
+
+    /** Spin-grab the WRLock (local-write mutual exclusion). */
+    sim::Task<void> grabWrLock(kv::Record &rec);
+    void releaseWrLock(kv::Record &rec);
+
+    /** Raise-glb helpers (monotonic max) + progress notification. */
+    void raiseGlbVolatile(kv::Record &rec, const kv::Timestamp &ts);
+    void raiseGlbDurable(kv::Record &rec, const kv::Timestamp &ts);
+
+    /** Generate a unique TS_WR for a new client-write on @p key. */
+    kv::Timestamp makeWriteTs(kv::Key key, kv::Record &rec);
+
+    /** Fabric options (batching/broadcast) configured on the cluster. */
+    const OffloadOptions &opts() const;
+
+    /** Persist one update into the local NVM log (occupies a core). */
+    sim::Task<void> persistToNvm(kv::Key key, kv::Value value,
+                                 kv::Timestamp ts, net::ScopeId scope);
+
+    /** Launch a background persist (weak models / coordinator REnf). */
+    void persistInBackground(kv::Key key, kv::Value value,
+                             kv::Timestamp ts, net::ScopeId scope);
+
+    // ---- messaging ----
+
+    /** Send the per-model INV flavor to every follower. */
+    void sendInvs(kv::Key key, kv::Value value, kv::Timestamp ts,
+                  net::ScopeId scope);
+
+    /** Send the per-model VAL flavor(s) to every follower. */
+    void sendVals(net::MsgType type, kv::Key key, kv::Timestamp ts,
+                  net::ScopeId scope);
+
+    /** Respond to a coordinator. */
+    sim::Task<void> sendResponse(const net::Message &req,
+                                 net::MsgType type, Tick handle_ns);
+
+    // ---- receive-side handlers ----
+
+    sim::Process dispatcher();
+    sim::Process handleMessage(net::Message msg);
+    sim::Task<void> onInv(net::Message msg, Tick t_handle0);
+    sim::Task<void> onAck(net::Message msg, Tick t_rx);
+    sim::Task<void> onVal(net::Message msg);
+    sim::Task<void> onPersistSc(net::Message msg, Tick t_handle0);
+
+    /** Background tail of the REnf coordinator (post-ACK_C work). */
+    sim::Process renfTail(kv::Key key, kv::Timestamp ts);
+
+    // ---- per-model gates ----
+
+    /** Wait until the gating ACK set for client return is complete. */
+    sim::Task<void> waitClientGate(PendingTxn &txn);
+
+    /** INV/ACK_C/VAL message flavors for this model. */
+    net::MsgType invType() const;
+    net::MsgType ackCType() const;
+    net::MsgType valCType() const;
+
+    friend class ClusterB;
+
+    sim::Simulator &sim_;
+    ClusterB &cluster_;
+    const ClusterConfig &cfg_;
+    PersistModel model_;
+    kv::NodeId id_;
+
+    kv::SimStore store_;
+    nvm::DurableLog log_;
+    nvm::NvmModel nvm_;
+
+    sim::CorePool cores_;
+    sim::Mailbox<net::Message> rx_;
+    sim::Condition progress_;
+
+    /**
+     * Coordinator transactions keyed by (key, TS_WR): TS_WR versions are
+     * per-record, so the key participates in the identity.
+     */
+    using TxnKey = std::pair<kv::Key, std::uint64_t>;
+
+    struct TxnKeyHash
+    {
+        std::size_t
+        operator()(const TxnKey &k) const noexcept
+        {
+            return std::hash<std::uint64_t>()(k.first * 0x9E3779B9u) ^
+                   std::hash<std::uint64_t>()(k.second);
+        }
+    };
+
+    static TxnKey
+    txnKey(kv::Key key, const kv::Timestamp &ts)
+    {
+        return {key, ts.pack()};
+    }
+
+    std::unordered_map<TxnKey, PendingTxn, TxnKeyHash> pending_;
+    /** [PERSIST]sc transactions in flight, keyed by scope. */
+    std::unordered_map<net::ScopeId, PendingTxn> scopePending_;
+    /** Unpersisted scoped writes on this node, per scope. */
+    std::unordered_map<net::ScopeId, int> scopeUnpersisted_;
+    /** Per-record guard that keeps locally-issued TS_WR unique. */
+    std::unordered_map<kv::Key, std::int64_t> nextLocalVersion_;
+    /** Follower-side obsolete-INV count (tests/diagnostics). */
+    std::uint64_t obsoleteInvs_ = 0;
+    NodeCounters counters_;
+};
+
+} // namespace minos::simproto
+
+#endif // MINOS_SIMPROTO_NODE_B_HH

@@ -1,0 +1,846 @@
+#include "node_o.hh"
+
+#include "snic/cluster_o.hh"
+
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace minos::snic {
+
+using kv::Key;
+using kv::NodeId;
+using kv::Record;
+using kv::Timestamp;
+using kv::Value;
+using net::Message;
+using net::MsgType;
+using net::ScopeId;
+using simproto::isScopeModel;
+using simproto::needsPersistencySpin;
+using simproto::persistOnCriticalPath;
+using simproto::tracksPersistPerWrite;
+using simproto::usesSplitAcks;
+
+NodeO::NodeO(sim::Simulator &sim, ClusterO &cluster,
+             const ClusterConfig &cfg, PersistModel model, NodeId id)
+    : sim_(sim), cluster_(cluster), cfg_(cfg), model_(model), id_(id),
+      store_(cfg.numRecords), hostCores_(sim, cfg.hostCores),
+      snicCores_(sim, cfg.snicCores), snicRx_(sim), progress_(sim),
+      vfifo_(sim, cfg, store_, cluster.vfifoDma(id), progress_),
+      dfifo_(sim, cfg, log_, cluster.dfifoDma(id), progress_)
+{
+    sim_.spawn(snicDispatcher());
+}
+
+// ---------------------------------------------------------------------
+// Shared primitives
+// ---------------------------------------------------------------------
+
+bool
+NodeO::obsolete(const Record &rec, const Timestamp &ts) const
+{
+    return kv::isObsolete(rec, ts);
+}
+
+void
+NodeO::snatchRdLock(Record &rec, const Timestamp &ts)
+{
+    if (rec.rdLockOwner < ts) {
+        rec.rdLockOwner = ts;
+        ++counters_.rdLockSnatches;
+    }
+}
+
+void
+NodeO::releaseRdLockIfOwner(Record &rec, const Timestamp &ts)
+{
+    if (rec.rdLockOwner == ts) {
+        rec.rdLockOwner = Timestamp::none();
+        progress_.notifyAll();
+    }
+}
+
+void
+NodeO::raiseGlbVolatile(Record &rec, const Timestamp &ts)
+{
+    if (rec.glbVolatileTs < ts) {
+        rec.glbVolatileTs = ts;
+        progress_.notifyAll();
+    }
+}
+
+void
+NodeO::raiseGlbDurable(Record &rec, const Timestamp &ts)
+{
+    if (rec.glbDurableTs < ts) {
+        rec.glbDurableTs = ts;
+        progress_.notifyAll();
+    }
+}
+
+Timestamp
+NodeO::makeWriteTs(Key key, Record &rec)
+{
+    auto &next = nextLocalVersion_[key];
+    std::int64_t ver = std::max(rec.volatileTs.version + 1, next);
+    next = ver + 1;
+    return Timestamp{ver, id_};
+}
+
+sim::Task<void>
+NodeO::handleObsolete(Key key, Timestamp observed)
+{
+    Record &rec = store_.at(key);
+    while (rec.glbVolatileTs < observed)
+        co_await progress_.wait();
+    if (needsPersistencySpin(model_)) {
+        while (rec.glbDurableTs < observed)
+            co_await progress_.wait();
+    }
+}
+
+MsgType
+NodeO::invType() const
+{
+    return isScopeModel(model_) ? MsgType::INV_SC : MsgType::INV;
+}
+
+MsgType
+NodeO::ackCType() const
+{
+    if (model_ == PersistModel::Synch)
+        return MsgType::ACK;
+    return isScopeModel(model_) ? MsgType::ACK_C_SC : MsgType::ACK_C;
+}
+
+MsgType
+NodeO::valCType() const
+{
+    switch (model_) {
+      case PersistModel::Synch:
+      case PersistModel::REnf:
+        return MsgType::VAL;
+      case PersistModel::Strict:
+      case PersistModel::Event:
+        return MsgType::VAL_C;
+      case PersistModel::Scope:
+        return MsgType::VAL_C_SC;
+    }
+    return MsgType::VAL;
+}
+
+bool
+NodeO::snicGateReached(const PendingTxn &txn) const
+{
+    switch (model_) {
+      case PersistModel::Synch:
+        return txn.acks >= txn.needed;
+      case PersistModel::Strict:
+        return txn.acksC >= txn.needed && txn.acksP >= txn.needed &&
+               txn.dfifoEnqueued;
+      case PersistModel::REnf:
+      case PersistModel::Event:
+      case PersistModel::Scope:
+        return txn.acksC >= txn.needed;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Host engine
+// ---------------------------------------------------------------------
+
+sim::Task<OpStats>
+NodeO::clientWrite(Key key, Value value, ScopeId scope)
+{
+    OpStats st;
+    Tick t0 = sim_.now();
+    ++counters_.writesCoordinated;
+    co_await hostCores_.compute(cfg_.clientReqNs);
+
+    Record &rec = store_.at(key);
+    Timestamp ts = makeWriteTs(key, rec);
+
+    if (obsolete(rec, ts)) {
+        ++counters_.writesObsoleteCut;
+        Timestamp observed = rec.volatileTs;
+        co_await handleObsolete(key, observed);
+        st.obsolete = true;
+        st.latencyNs = sim_.now() - t0;
+        st.compNs = static_cast<double>(st.latencyNs);
+        co_return st;
+    }
+
+    // Snatch RDLock on the coherent metadata (Fig. 8 line 8).
+    co_await hostCores_.compute(cfg_.hostSyncNs + cfg_.coherenceNs);
+    snatchRdLock(rec, ts);
+
+    // Fig. 8 line 9: re-check (no WRLock in MINOS-O).
+    if (obsolete(rec, ts)) {
+        st.obsolete = true;
+        ++counters_.writesObsoleteCut;
+        Timestamp observed = rec.volatileTs;
+        co_await handleObsolete(key, observed);
+        releaseRdLockIfOwner(rec, ts);
+        st.latencyNs = sim_.now() - t0;
+        st.compNs = static_cast<double>(st.latencyNs);
+        co_return st;
+    }
+
+    // Register the transaction, then send the (batched) INV.
+    auto txn = std::make_shared<PendingTxn>();
+    txn->needed = cfg_.followers();
+    auto [it, inserted] = pending_.emplace(txnKey(key, ts), txn);
+    MINOS_ASSERT(inserted, "duplicate TS_WR ", ts, " key ", key);
+
+    const bool batching = cluster_.options().batching;
+    co_await hostCores_.compute(
+        batching ? cfg_.hostSendNs
+                 : cfg_.hostSendNs * cfg_.followers());
+    txn->tFirstSend = sim_.now();
+
+    Message m;
+    m.type = invType();
+    m.src = id_;
+    m.key = key;
+    m.tsWr = ts;
+    m.value = value;
+    m.scope = scope;
+    m.sizeBytes = cfg_.recordBytes + net::controlMsgBytes;
+    cluster_.hostSendInv(id_, m);
+
+    // Fig. 8 lines 13-14: spin for the (batched) ACK. Without batching
+    // the host counts the individually-forwarded ACKs itself.
+    auto host_gate = [&]() -> bool {
+        if (batching)
+            return txn->hostDone;
+        switch (model_) {
+          case PersistModel::Synch:
+            return txn->hostAcks >= txn->needed;
+          case PersistModel::Strict:
+            return txn->hostAcksC >= txn->needed &&
+                   txn->hostAcksP >= txn->needed && txn->dfifoEnqueued;
+          default:
+            return txn->hostAcksC >= txn->needed;
+        }
+    };
+    while (!host_gate())
+        co_await progress_.wait();
+    txn->tGateAck = sim_.now();
+    co_await hostCores_.compute(cfg_.bookkeepNs);
+
+    st.latencyNs = sim_.now() - t0;
+    if (txn->handleCnt > 0 && txn->tGateAck > txn->tFirstSend) {
+        double handle_avg =
+            static_cast<double>(txn->handleNsSum) / txn->handleCnt;
+        double comm =
+            static_cast<double>(txn->tGateAck - txn->tFirstSend) -
+            handle_avg;
+        comm = std::max(0.0, comm);
+        comm = std::min(comm, static_cast<double>(st.latencyNs));
+        st.commNs = comm;
+    }
+    st.compNs = static_cast<double>(st.latencyNs) - st.commNs;
+    co_return st;
+}
+
+sim::Task<OpStats>
+NodeO::clientRead(Key key)
+{
+    OpStats st;
+    Tick t0 = sim_.now();
+    co_await hostCores_.compute(cfg_.clientReqNs);
+    Record &rec = store_.at(key);
+    while (!rec.rdLockFree())
+        co_await progress_.wait();
+    co_await hostCores_.compute(cfg_.llcReadNs);
+    st.value = rec.value;
+    st.latencyNs = sim_.now() - t0;
+    st.compNs = static_cast<double>(st.latencyNs);
+    co_return st;
+}
+
+sim::Task<OpStats>
+NodeO::persistScope(ScopeId scope)
+{
+    OpStats st;
+    Tick t0 = sim_.now();
+    if (!isScopeModel(model_))
+        co_return st;
+
+    co_await hostCores_.compute(cfg_.clientReqNs);
+    auto [it, inserted] = scopePending_.emplace(scope, PendingTxn{});
+    MINOS_ASSERT(inserted, "duplicate [PERSIST]sc for scope ", scope);
+    PendingTxn &txn = it->second;
+    txn.needed = cfg_.followers();
+
+    co_await hostCores_.compute(cfg_.hostSendNs);
+    Message m;
+    m.type = MsgType::PERSIST_SC;
+    m.src = id_;
+    m.scope = scope;
+    m.sizeBytes = net::controlMsgBytes;
+    m.destMask = 1; // marks "from host" for the local SNIC
+    cluster_.hostSendControl(id_, m);
+
+    while (!txn.hostDone)
+        co_await progress_.wait();
+    co_await hostCores_.compute(cfg_.bookkeepNs);
+    scopePending_.erase(scope);
+
+    st.latencyNs = sim_.now() - t0;
+    st.compNs = static_cast<double>(st.latencyNs);
+    co_return st;
+}
+
+// ---------------------------------------------------------------------
+// SNIC engine: dispatch
+// ---------------------------------------------------------------------
+
+void
+NodeO::deliverToSnic(Message msg)
+{
+    snicRx_.send(std::move(msg));
+}
+
+sim::Process
+NodeO::snicDispatcher()
+{
+    for (;;) {
+        Message m = co_await snicRx_.recv();
+        sim_.spawn(snicHandle(std::move(m)));
+    }
+}
+
+sim::Process
+NodeO::snicHandle(Message msg)
+{
+    // Handling time starts at SNIC receive-queue deposit.
+    Tick t_rx = sim_.now();
+    co_await snicCores_.compute(cfg_.snicDispatchNs);
+    switch (msg.type) {
+      case MsgType::INV:
+      case MsgType::INV_SC:
+        if (msg.destMask != 0) {
+            counters_.invsSent +=
+                static_cast<std::uint64_t>(cfg_.followers());
+            co_await snicOnCoordinatorInv(msg);
+        } else {
+            ++counters_.invsReceived;
+            co_await snicOnFollowerInv(msg, t_rx);
+        }
+        break;
+      case MsgType::ACK:
+      case MsgType::ACK_C:
+      case MsgType::ACK_P:
+      case MsgType::ACK_C_SC:
+      case MsgType::ACK_P_SC:
+        ++counters_.acksReceived;
+        co_await snicOnAck(msg);
+        break;
+      case MsgType::VAL:
+      case MsgType::VAL_C:
+      case MsgType::VAL_P:
+      case MsgType::VAL_C_SC:
+      case MsgType::VAL_P_SC:
+        ++counters_.valsReceived;
+        co_await snicOnVal(msg);
+        break;
+      case MsgType::PERSIST_SC:
+        co_await snicOnPersistSc(msg, t_rx);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// SNIC engine: coordinator side
+// ---------------------------------------------------------------------
+
+sim::Task<void>
+NodeO::snicEnqueueUpdate(Message msg, TxnPtr txn)
+{
+    // Fig. 8 line 17: enqueue to vFIFO and dFIFO. The dFIFO enqueue is
+    // in the handler's path when persistency gates the protocol
+    // (Synch/Strict/REnf); the weak models defer it to the background.
+    txn->vfifoId = co_await vfifo_.enqueue(msg.key, msg.value,
+                                           msg.tsWr);
+    txn->vfifoAssigned = true;
+    progress_.notifyAll();
+    if (tracksPersistPerWrite(model_)) {
+        txn->dfifoId = co_await dfifo_.enqueue(msg.key, msg.value,
+                                               msg.tsWr,
+                                               cfg_.recordBytes);
+        ++counters_.persists;
+        txn->dfifoEnqueued = true;
+        progress_.notifyAll();
+    } else {
+        dfifoInBackground(msg.key, msg.value, msg.tsWr, msg.scope,
+                          cfg_.recordBytes);
+        txn->dfifoEnqueued = true; // durability tracked via scope map
+    }
+    // The Strict client gate includes the local durable enqueue; the
+    // last ACK may already have arrived.
+    maybeFireClientGate(msg.key, msg.tsWr, msg.scope, txn);
+}
+
+sim::Task<void>
+NodeO::snicOnCoordinatorInv(Message msg)
+{
+    auto it = pending_.find(txnKey(msg.key, msg.tsWr));
+    MINOS_ASSERT(it != pending_.end(),
+                 "coordinator INV without a registered transaction");
+    TxnPtr txn = it->second;
+
+    if (cluster_.options().batching) {
+        // Fig. 8 lines 15-17: broadcast, then enqueue.
+        if (cfg_.trace) {
+            std::ostringstream os;
+            os << "SNIC broadcast INV " << msg.tsWr << " key="
+               << msg.key;
+            cfg_.trace->record(sim_.now(),
+                               sim::TraceCategory::Message, id_,
+                               os.str());
+        }
+        Message out = msg;
+        out.destMask = 0;
+        cluster_.snicMulticast(id_, out, /*from_batched=*/true);
+        co_await snicEnqueueUpdate(msg, txn);
+    } else {
+        // One INV per follower arrives over PCIe; forward each, do the
+        // protocol work (enqueues) once, on the first.
+        int dst = 0;
+        std::uint64_t mask = msg.destMask;
+        while (!(mask & 1)) {
+            mask >>= 1;
+            ++dst;
+        }
+        Message out = msg;
+        out.dst = static_cast<NodeId>(dst);
+        out.destMask = 0;
+        cluster_.snicUnicast(out);
+        if (!txn->invProcessed) {
+            txn->invProcessed = true;
+            co_await snicEnqueueUpdate(msg, txn);
+        }
+    }
+}
+
+sim::Task<void>
+NodeO::snicOnAck(Message msg)
+{
+    co_await snicCores_.compute(cfg_.bookkeepNs);
+    if (msg.type == MsgType::ACK_P_SC) {
+        auto its = scopePending_.find(msg.scope);
+        if (its == scopePending_.end())
+            co_return;
+        PendingTxn &txn = its->second;
+        ++txn.acksP;
+        if (txn.acksP >= txn.needed) {
+            // Gate: notify the host (client return) and terminate the
+            // [PERSIST]sc with [VAL_P]sc.
+            ScopeId scope = msg.scope;
+            NodeO *self = this;
+            cluster_.snicNotifyHost(
+                id_, net::controlMsgBytes, [self, scope] {
+                    auto it2 = self->scopePending_.find(scope);
+                    if (it2 != self->scopePending_.end()) {
+                        it2->second.hostDone = true;
+                        self->progress_.notifyAll();
+                    }
+                });
+            Message val;
+            val.type = MsgType::VAL_P_SC;
+            val.src = id_;
+            val.scope = scope;
+            val.sizeBytes = net::controlMsgBytes;
+            cluster_.snicMulticast(id_, val, /*from_batched=*/false);
+        }
+        progress_.notifyAll();
+        co_return;
+    }
+
+    auto it = pending_.find(txnKey(msg.key, msg.tsWr));
+    if (it == pending_.end())
+        co_return; // stray ACK
+    TxnPtr txn = it->second;
+
+    switch (msg.type) {
+      case MsgType::ACK: ++txn->acks; break;
+      case MsgType::ACK_C:
+      case MsgType::ACK_C_SC: ++txn->acksC; break;
+      case MsgType::ACK_P: ++txn->acksP; break;
+      default:
+        MINOS_PANIC("unexpected ACK type ", net::msgTypeName(msg.type));
+    }
+    txn->handleNsSum += msg.handleNs;
+    ++txn->handleCnt;
+
+    if (!cluster_.options().batching)
+        forwardAckToHost(msg, txn); // Fig. 6: pass every ACK to host
+
+    // Strict: the consistency gate spawns the VAL_C -> VAL_P tail.
+    if (model_ == PersistModel::Strict &&
+        msg.type == MsgType::ACK_C && txn->acksC == txn->needed) {
+        Record &rec = store_.at(msg.key);
+        raiseGlbVolatile(rec, msg.tsWr);
+        sim_.spawn(snicStrictTail(msg.key, msg.tsWr, txn));
+    }
+
+    maybeFireClientGate(msg.key, msg.tsWr, msg.scope, txn);
+
+    // REnf persistency tail: all ACK_Ps + local durable -> VALs+unlock.
+    if (model_ == PersistModel::REnf && msg.type == MsgType::ACK_P &&
+        txn->acksP == txn->needed) {
+        Record &rec = store_.at(msg.key);
+        raiseGlbDurable(rec, msg.tsWr);
+        sim_.spawn(snicCompleteSynchLike(msg.key, msg.tsWr, msg.scope,
+                                         txn));
+    }
+
+    progress_.notifyAll();
+}
+
+void
+NodeO::maybeFireClientGate(Key key, Timestamp ts, ScopeId scope,
+                           const TxnPtr &txn)
+{
+    if (txn->gateFired || !snicGateReached(*txn))
+        return;
+    txn->gateFired = true;
+    if (cluster_.options().batching)
+        notifyHostGate(txn);
+    Record &rec = store_.at(key);
+    switch (model_) {
+      case PersistModel::Synch:
+        raiseGlbVolatile(rec, ts);
+        raiseGlbDurable(rec, ts);
+        sim_.spawn(snicCompleteSynchLike(key, ts, scope, txn));
+        break;
+      case PersistModel::Strict:
+        raiseGlbDurable(rec, ts);
+        // VAL_C/VAL_P sequencing handled by snicStrictTail.
+        break;
+      case PersistModel::REnf:
+        raiseGlbVolatile(rec, ts);
+        // VALs + unlock wait for all ACK_Ps (REnf tail in snicOnAck).
+        break;
+      case PersistModel::Event:
+      case PersistModel::Scope:
+        raiseGlbVolatile(rec, ts);
+        sim_.spawn(snicCompleteSynchLike(key, ts, scope, txn));
+        break;
+    }
+    progress_.notifyAll();
+}
+
+sim::Process
+NodeO::snicCompleteSynchLike(Key key, Timestamp ts, ScopeId scope,
+                             TxnPtr txn)
+{
+    // Fig. 8 lines 21-24: wait for the vFIFO drain, release the RDLock
+    // if still owner, broadcast the VALs, retire the transaction.
+    while (!txn->vfifoAssigned)
+        co_await progress_.wait();
+    co_await vfifo_.waitDrained(txn->vfifoId);
+
+    Record &rec = store_.at(key);
+    co_await snicCores_.compute(cfg_.snicSyncNs + cfg_.coherenceNs);
+    releaseRdLockIfOwner(rec, ts);
+
+    Message val;
+    val.type = valCType();
+    val.src = id_;
+    val.key = key;
+    val.tsWr = ts;
+    val.scope = scope;
+    val.sizeBytes = net::controlMsgBytes;
+    counters_.valsSent += static_cast<std::uint64_t>(cfg_.followers());
+    cluster_.snicMulticast(id_, val, /*from_batched=*/false);
+    pending_.erase(txnKey(key, ts));
+    progress_.notifyAll();
+}
+
+sim::Process
+NodeO::snicStrictTail(Key key, Timestamp ts, TxnPtr txn)
+{
+    // Strict: VAL_C after the local drain, VAL_P strictly after VAL_C
+    // once the persistency gate is reached (Fig. 3(i) ordering).
+    while (!txn->vfifoAssigned)
+        co_await progress_.wait();
+    co_await vfifo_.waitDrained(txn->vfifoId);
+
+    Record &rec = store_.at(key);
+    co_await snicCores_.compute(cfg_.snicSyncNs + cfg_.coherenceNs);
+    releaseRdLockIfOwner(rec, ts);
+
+    Message val;
+    val.type = MsgType::VAL_C;
+    val.src = id_;
+    val.key = key;
+    val.tsWr = ts;
+    val.sizeBytes = net::controlMsgBytes;
+    counters_.valsSent += static_cast<std::uint64_t>(cfg_.followers());
+    cluster_.snicMulticast(id_, val, /*from_batched=*/false);
+
+    while (!(txn->acksP >= txn->needed && txn->dfifoEnqueued))
+        co_await progress_.wait();
+    raiseGlbDurable(rec, ts);
+    Message valp = val;
+    valp.type = MsgType::VAL_P;
+    counters_.valsSent += static_cast<std::uint64_t>(cfg_.followers());
+    cluster_.snicMulticast(id_, valp, /*from_batched=*/false);
+    pending_.erase(txnKey(key, ts));
+    progress_.notifyAll();
+}
+
+void
+NodeO::notifyHostGate(TxnPtr txn)
+{
+    NodeO *self = this;
+    cluster_.snicNotifyHost(id_, net::controlMsgBytes,
+                            [self, txn = std::move(txn)] {
+                                txn->hostDone = true;
+                                self->progress_.notifyAll();
+                            });
+}
+
+void
+NodeO::forwardAckToHost(const Message &msg, TxnPtr txn)
+{
+    NodeO *self = this;
+    MsgType type = msg.type;
+    cluster_.snicNotifyHost(
+        id_, net::controlMsgBytes, [self, txn, type] {
+            struct HostBookkeep
+            {
+                static sim::Process
+                run(NodeO *self, TxnPtr txn, MsgType type)
+                {
+                    co_await self->hostCores_.compute(
+                        self->cfg_.bookkeepNs);
+                    switch (type) {
+                      case MsgType::ACK: ++txn->hostAcks; break;
+                      case MsgType::ACK_C:
+                      case MsgType::ACK_C_SC: ++txn->hostAcksC; break;
+                      case MsgType::ACK_P: ++txn->hostAcksP; break;
+                      default: break;
+                    }
+                    self->progress_.notifyAll();
+                }
+            };
+            self->sim_.spawn(
+                HostBookkeep::run(self, std::move(txn), type));
+        });
+}
+
+// ---------------------------------------------------------------------
+// SNIC engine: follower side
+// ---------------------------------------------------------------------
+
+sim::Task<void>
+NodeO::snicOnFollowerInv(Message msg, Tick t_handle0)
+{
+    Record &rec = store_.at(msg.key);
+
+    auto send_ack = [&](MsgType type, Tick handle) {
+        Message resp = net::makeResponse(msg, type);
+        resp.handleNs = handle;
+        ++counters_.acksSent;
+        cluster_.snicUnicast(resp);
+    };
+
+    auto obsolete_acks = [&](Timestamp observed) -> sim::Task<void> {
+        if (usesSplitAcks(model_)) {
+            while (rec.glbVolatileTs < observed)
+                co_await progress_.wait();
+            send_ack(ackCType(), sim_.now() - t_handle0);
+            if (tracksPersistPerWrite(model_)) {
+                while (rec.glbDurableTs < observed)
+                    co_await progress_.wait();
+                send_ack(MsgType::ACK_P, sim_.now() - t_handle0);
+            }
+        } else {
+            co_await handleObsolete(msg.key, observed);
+            send_ack(MsgType::ACK, sim_.now() - t_handle0);
+        }
+    };
+
+    if (obsolete(rec, msg.tsWr)) {
+        ++obsoleteInvs_;
+        ++counters_.invsObsolete;
+        co_await obsolete_acks(rec.volatileTs);
+        co_return;
+    }
+
+    // Snatch the RDLock on the coherent metadata (Fig. 8 line 33).
+    co_await snicCores_.compute(cfg_.snicSyncNs + cfg_.coherenceNs);
+    snatchRdLock(rec, msg.tsWr);
+
+    if (obsolete(rec, msg.tsWr)) {
+        ++obsoleteInvs_;
+        ++counters_.invsObsolete;
+        Timestamp observed = rec.volatileTs;
+        co_await obsolete_acks(observed);
+        releaseRdLockIfOwner(rec, msg.tsWr);
+        co_return;
+    }
+
+    // Track the follower-side transaction so the VAL can find the
+    // vFIFO entry to wait on.
+    auto txn = std::make_shared<PendingTxn>();
+    auto [it, inserted] = pending_.emplace(txnKey(msg.key, msg.tsWr),
+                                           txn);
+    if (!inserted)
+        co_return; // duplicate INV: cannot happen with this fabric
+
+    // Fig. 8 lines 34-35 + Fig. 7 per-model ACK points.
+    txn->vfifoId = co_await vfifo_.enqueue(msg.key, msg.value,
+                                           msg.tsWr);
+    txn->vfifoAssigned = true;
+    if (cfg_.trace) {
+        std::ostringstream os;
+        os << "follower enqueued " << msg.tsWr << " key=" << msg.key
+           << " vfifo-entry=" << txn->vfifoId;
+        cfg_.trace->record(sim_.now(), sim::TraceCategory::Fifo, id_,
+                           os.str());
+    }
+    progress_.notifyAll();
+    switch (model_) {
+      case PersistModel::Synch:
+        txn->dfifoId = co_await dfifo_.enqueue(msg.key, msg.value,
+                                               msg.tsWr,
+                                               cfg_.recordBytes);
+        ++counters_.persists;
+        send_ack(MsgType::ACK, sim_.now() - t_handle0);
+        break;
+      case PersistModel::Strict:
+      case PersistModel::REnf:
+        send_ack(MsgType::ACK_C, sim_.now() - t_handle0);
+        txn->dfifoId = co_await dfifo_.enqueue(msg.key, msg.value,
+                                               msg.tsWr,
+                                               cfg_.recordBytes);
+        ++counters_.persists;
+        send_ack(MsgType::ACK_P, sim_.now() - t_handle0);
+        break;
+      case PersistModel::Event:
+      case PersistModel::Scope:
+        send_ack(ackCType(), sim_.now() - t_handle0);
+        dfifoInBackground(msg.key, msg.value, msg.tsWr, msg.scope,
+                          cfg_.recordBytes);
+        break;
+    }
+}
+
+sim::Task<void>
+NodeO::snicOnVal(Message msg)
+{
+    co_await snicCores_.compute(cfg_.bookkeepNs);
+    Record &rec = store_.at(msg.key);
+
+    auto it = pending_.find(txnKey(msg.key, msg.tsWr));
+    TxnPtr txn = (it != pending_.end()) ? it->second : nullptr;
+
+    switch (msg.type) {
+      case MsgType::VAL:
+        raiseGlbVolatile(rec, msg.tsWr);
+        raiseGlbDurable(rec, msg.tsWr);
+        break;
+      case MsgType::VAL_C:
+      case MsgType::VAL_C_SC:
+        raiseGlbVolatile(rec, msg.tsWr);
+        break;
+      case MsgType::VAL_P:
+        raiseGlbDurable(rec, msg.tsWr);
+        // Wait for the VAL_C side to finish before retiring (VAL_C is
+        // sent first but its handler may still be draining).
+        if (txn) {
+            while (!txn->releasedByValC)
+                co_await progress_.wait();
+            pending_.erase(txnKey(msg.key, msg.tsWr));
+            progress_.notifyAll();
+        }
+        co_return;
+      case MsgType::VAL_P_SC:
+        co_return; // terminates the [PERSIST]sc at the follower
+      default:
+        MINOS_PANIC("unexpected VAL type ", net::msgTypeName(msg.type));
+    }
+
+    if (!txn)
+        co_return; // VAL for an INV we cut short as obsolete: discarded
+
+    // Fig. 8 lines 39-42: wait for the drain, then release the RDLock.
+    while (!txn->vfifoAssigned)
+        co_await progress_.wait();
+    co_await vfifo_.waitDrained(txn->vfifoId);
+    co_await snicCores_.compute(cfg_.snicSyncNs + cfg_.coherenceNs);
+    releaseRdLockIfOwner(rec, msg.tsWr);
+    txn->releasedByValC = true;
+    progress_.notifyAll();
+
+    // Strict keeps the txn alive until VAL_P.
+    if (model_ != PersistModel::Strict) {
+        pending_.erase(txnKey(msg.key, msg.tsWr));
+        progress_.notifyAll();
+    }
+}
+
+sim::Task<void>
+NodeO::snicOnPersistSc(Message msg, Tick t_handle0)
+{
+    if (msg.destMask != 0) {
+        // Coordinator SNIC: broadcast to followers, flush local scope.
+        Message out = msg;
+        out.destMask = 0;
+        cluster_.snicMulticast(id_, out, /*from_batched=*/false);
+        while (scopeUnpersisted_[msg.scope] > 0)
+            co_await progress_.wait();
+        // Persist the [PERSIST]sc marker itself (small dFIFO entry).
+        co_await dfifo_.enqueueMarker(net::controlMsgBytes);
+        // ACKs collected in snicOnAck; nothing else to do here.
+        co_return;
+    }
+
+    // Follower SNIC: flush the scope's outstanding dFIFO enqueues,
+    // persist the marker, acknowledge.
+    while (scopeUnpersisted_[msg.scope] > 0)
+        co_await progress_.wait();
+    co_await dfifo_.enqueueMarker(net::controlMsgBytes);
+    Message resp = net::makeResponse(msg, MsgType::ACK_P_SC);
+    resp.handleNs = sim_.now() - t_handle0;
+    cluster_.snicUnicast(resp);
+}
+
+void
+NodeO::dfifoInBackground(Key key, Value value, Timestamp ts,
+                         ScopeId scope, std::uint32_t bytes)
+{
+    if (isScopeModel(model_))
+        ++scopeUnpersisted_[scope];
+    struct Launcher
+    {
+        static sim::Process
+        run(NodeO *self, Key key, Value value, Timestamp ts,
+            ScopeId scope, std::uint32_t bytes)
+        {
+            co_await self->dfifo_.enqueue(key, value, ts, bytes);
+            ++self->counters_.persists;
+            if (isScopeModel(self->model_)) {
+                if (--self->scopeUnpersisted_[scope] == 0)
+                    self->progress_.notifyAll();
+            }
+        }
+    };
+    sim_.spawn(Launcher::run(this, key, value, ts, scope, bytes));
+}
+
+nvm::DurableDb
+NodeO::durableDb() const
+{
+    nvm::DurableDb db;
+    log_.applyTo(db);
+    return db;
+}
+
+} // namespace minos::snic

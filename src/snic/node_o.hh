@@ -1,0 +1,228 @@
+/**
+ * @file
+ * MINOS-Offload node: the DDP protocols re-designed for the MINOS-O
+ * SmartNIC (paper §V, Figs. 6-8).
+ *
+ * Division of labor per client-write (Fig. 8, <Lin, Synch>):
+ *  - Host: process the request, generate TS_WR, obsoleteness check,
+ *    Snatch RDLock, send a (batched) INV to the SNIC, spin for the
+ *    (batched) ACK -> return to client.
+ *  - Coordinator SNIC: broadcast INV to all followers, enqueue the
+ *    update to vFIFO and dFIFO, collect ACKs, send the batched ACK to
+ *    the host, wait for the vFIFO drain, release the RDLock, send VALs.
+ *  - Follower SNIC: obsoleteness check, Snatch RDLock, enqueue to
+ *    vFIFO/dFIFO, ACK; on VAL wait for the drain and release the RDLock.
+ *    The follower host is never invoked.
+ *
+ * The WRLock is gone: the vFIFO serializes LLC updates and skips
+ * obsolete ones. RDLock_Owner, volatileTS, glb_volatileTS and
+ * glb_durableTS live in the selective-coherence range shared by host and
+ * SNIC; accesses pay the coherence-module cost instead of a PCIe round
+ * trip.
+ */
+
+#ifndef MINOS_SNIC_NODE_O_HH
+#define MINOS_SNIC_NODE_O_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kv/store.hh"
+#include "net/message.hh"
+#include "nvm/log.hh"
+#include "sim/condition.hh"
+#include "sim/network.hh"
+#include "simproto/cluster.hh"
+#include "simproto/counters.hh"
+#include "snic/fifo.hh"
+
+namespace minos::snic {
+
+class ClusterO;
+
+using simproto::ClusterConfig;
+using simproto::OffloadOptions;
+using simproto::OpStats;
+using simproto::PersistModel;
+
+/** One MINOS-O node: host engine + SmartNIC engine. */
+class NodeO
+{
+  public:
+    NodeO(sim::Simulator &sim, ClusterO &cluster,
+          const ClusterConfig &cfg, PersistModel model, kv::NodeId id);
+
+    NodeO(const NodeO &) = delete;
+    NodeO &operator=(const NodeO &) = delete;
+
+    kv::NodeId id() const { return id_; }
+
+    /** Host-side client-write (Fig. 8 left, host part). */
+    sim::Task<OpStats> clientWrite(kv::Key key, kv::Value value,
+                                   net::ScopeId scope);
+
+    /** Host-side local read: stalls only on the (coherent) RDLock. */
+    sim::Task<OpStats> clientRead(kv::Key key);
+
+    /** Host side of the [PERSIST]sc transaction (Fig. 7(e)). */
+    sim::Task<OpStats> persistScope(net::ScopeId scope);
+
+    /** Deliver a network message into this node's SmartNIC. */
+    void deliverToSnic(net::Message msg);
+
+    /** @{ Introspection for tests. */
+    const kv::Record &record(kv::Key key) const { return store_.at(key); }
+    const nvm::DurableLog &log() const { return log_; }
+    std::size_t pendingTxns() const { return pending_.size(); }
+    std::uint64_t obsoleteInvs() const { return obsoleteInvs_; }
+    const VFifo &vfifo() const { return vfifo_; }
+    /** Protocol activity counters. */
+    const simproto::NodeCounters &counters() const { return counters_; }
+    /** @} */
+
+    /** Durable database obtained by replaying this node's NVM log. */
+    nvm::DurableDb durableDb() const;
+
+  private:
+    /**
+     * Per-transaction bookkeeping, shared by host and SNIC engines.
+     * Held via shared_ptr because host worker, SNIC handlers, and
+     * completion tails overlap in time and the map entry may be retired
+     * while a suspended holder still needs the object.
+     */
+    struct PendingTxn
+    {
+        int needed = 0;
+        int acks = 0;
+        int acksC = 0;
+        int acksP = 0;
+        // Host-side mirror counters, bumped when a forwarded ACK
+        // arrives over PCIe (no-batching mode).
+        int hostAcks = 0;
+        int hostAcksC = 0;
+        int hostAcksP = 0;
+        bool hostDone = false;   ///< client gate reached at the host
+        bool invProcessed = false; ///< SNIC already did the enqueues
+        std::uint64_t vfifoId = noEntry;
+        bool vfifoAssigned = false;
+        std::uint64_t dfifoId = noEntry;
+        bool dfifoEnqueued = false;
+        bool releasedByValC = false; ///< follower: VAL_C processed
+        bool gateFired = false; ///< client gate already handled
+        Tick tFirstSend = 0;
+        Tick tGateAck = 0;
+        Tick handleNsSum = 0;
+        int handleCnt = 0;
+    };
+
+    using TxnPtr = std::shared_ptr<PendingTxn>;
+
+    using TxnKey = std::pair<kv::Key, std::uint64_t>;
+
+    struct TxnKeyHash
+    {
+        std::size_t
+        operator()(const TxnKey &k) const noexcept
+        {
+            return std::hash<std::uint64_t>()(k.first * 0x9E3779B9u) ^
+                   std::hash<std::uint64_t>()(k.second);
+        }
+    };
+
+    static TxnKey
+    txnKey(kv::Key key, const kv::Timestamp &ts)
+    {
+        return {key, ts.pack()};
+    }
+
+    // ---- shared protocol primitives ----
+    bool obsolete(const kv::Record &rec, const kv::Timestamp &ts) const;
+    void snatchRdLock(kv::Record &rec, const kv::Timestamp &ts);
+    void releaseRdLockIfOwner(kv::Record &rec, const kv::Timestamp &ts);
+    void raiseGlbVolatile(kv::Record &rec, const kv::Timestamp &ts);
+    void raiseGlbDurable(kv::Record &rec, const kv::Timestamp &ts);
+    kv::Timestamp makeWriteTs(kv::Key key, kv::Record &rec);
+
+    /** Spin helper: ConsistencySpin (+ PersistencySpin per model). */
+    sim::Task<void> handleObsolete(kv::Key key, kv::Timestamp observed);
+
+    // ---- SNIC engine ----
+    sim::Process snicDispatcher();
+    sim::Process snicHandle(net::Message msg);
+    sim::Task<void> snicOnCoordinatorInv(net::Message msg);
+    sim::Task<void> snicOnFollowerInv(net::Message msg,
+                                      Tick t_handle0);
+    sim::Task<void> snicOnAck(net::Message msg);
+    sim::Task<void> snicOnVal(net::Message msg);
+    sim::Task<void> snicOnPersistSc(net::Message msg,
+                                    Tick t_handle0);
+
+    /** Coordinator SNIC: post-gate completion work per model. */
+    sim::Process snicCompleteSynchLike(kv::Key key, kv::Timestamp ts,
+                                       net::ScopeId scope, TxnPtr txn);
+    /** Strict coordinator: VAL_C after drain, then VAL_P after gate. */
+    sim::Process snicStrictTail(kv::Key key, kv::Timestamp ts,
+                                TxnPtr txn);
+
+    /** Enqueue update into vFIFO (+ dFIFO per model) for txn. */
+    sim::Task<void> snicEnqueueUpdate(net::Message msg, TxnPtr txn);
+
+    /**
+     * Fire the client-gate actions (notify host, raise glb fields,
+     * spawn the completion tail) exactly once, as soon as the per-model
+     * gate condition holds. Called after every ACK and after the local
+     * dFIFO enqueue (which participates in the Strict gate).
+     */
+    void maybeFireClientGate(kv::Key key, kv::Timestamp ts,
+                             net::ScopeId scope, const TxnPtr &txn);
+
+    /** Notify the host that the client gate is reached (PCIe). */
+    void notifyHostGate(TxnPtr txn);
+
+    /** Forward one ACK to the host over PCIe (no-batching mode). */
+    void forwardAckToHost(const net::Message &msg, TxnPtr txn);
+
+    /** Background dFIFO enqueue for weak models (Event/Scope). */
+    void dfifoInBackground(kv::Key key, kv::Value value,
+                           kv::Timestamp ts, net::ScopeId scope,
+                           std::uint32_t bytes);
+
+    /** Message-type helpers (scoped variants for <Lin, Scope>). */
+    net::MsgType invType() const;
+    net::MsgType ackCType() const;
+    net::MsgType valCType() const;
+
+    /** True when this txn's client gate is satisfied SNIC-side. */
+    bool snicGateReached(const PendingTxn &txn) const;
+
+    friend class ClusterO;
+
+    sim::Simulator &sim_;
+    ClusterO &cluster_;
+    const ClusterConfig &cfg_;
+    PersistModel model_;
+    kv::NodeId id_;
+
+    kv::SimStore store_;
+    nvm::DurableLog log_;
+
+    sim::CorePool hostCores_;
+    sim::CorePool snicCores_;
+    sim::Mailbox<net::Message> snicRx_;
+    sim::Condition progress_;
+
+    VFifo vfifo_;
+    DFifo dfifo_;
+
+    std::unordered_map<TxnKey, TxnPtr, TxnKeyHash> pending_;
+    std::unordered_map<net::ScopeId, PendingTxn> scopePending_;
+    std::unordered_map<net::ScopeId, int> scopeUnpersisted_;
+    std::unordered_map<kv::Key, std::int64_t> nextLocalVersion_;
+    std::uint64_t obsoleteInvs_ = 0;
+    simproto::NodeCounters counters_;
+};
+
+} // namespace minos::snic
+
+#endif // MINOS_SNIC_NODE_O_HH

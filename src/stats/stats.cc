@@ -1,0 +1,229 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace minos::stats {
+
+void
+LatencySeries::add(Tick sample)
+{
+    if (!samples_.empty() && sample < samples_.back())
+        sorted_ = false;
+    samples_.push_back(sample);
+}
+
+double
+LatencySeries::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+    return sum / static_cast<double>(samples_.size());
+}
+
+Tick
+LatencySeries::min() const
+{
+    if (samples_.empty())
+        return 0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Tick
+LatencySeries::max() const
+{
+    if (samples_.empty())
+        return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+Tick
+LatencySeries::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0;
+    MINOS_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+    if (rank > 0)
+        --rank;
+    return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+void
+LatencySeries::merge(const LatencySeries &other)
+{
+    for (Tick t : other.samples_)
+        add(t);
+}
+
+double
+opsPerSec(std::uint64_t ops, Tick duration)
+{
+    if (duration <= 0)
+        return 0.0;
+    return static_cast<double>(ops) * 1e9 /
+           static_cast<double>(duration);
+}
+
+int
+LogHistogram::bucketOf(Tick sample)
+{
+    if (sample <= 0)
+        return 0;
+    int b = 0;
+    while (sample > 1 && b < numBuckets - 1) {
+        sample >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+Tick
+LogHistogram::bucketLow(int b)
+{
+    MINOS_ASSERT(b >= 0 && b < numBuckets, "bad bucket ", b);
+    return b == 0 ? 0 : (Tick{1} << b);
+}
+
+void
+LogHistogram::add(Tick sample)
+{
+    ++buckets_[static_cast<std::size_t>(bucketOf(sample))];
+    ++count_;
+    sum_ += static_cast<double>(sample);
+}
+
+double
+LogHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+Tick
+LogHistogram::percentileUpperBound(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    MINOS_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < numBuckets; ++b) {
+        seen += buckets_[static_cast<std::size_t>(b)];
+        if (seen >= rank) {
+            return b == numBuckets - 1 ? bucketLow(b)
+                                       : bucketLow(b + 1) - 1;
+        }
+    }
+    return bucketLow(numBuckets - 1);
+}
+
+std::uint64_t
+LogHistogram::bucketCount(int b) const
+{
+    MINOS_ASSERT(b >= 0 && b < numBuckets, "bad bucket ", b);
+    return buckets_[static_cast<std::size_t>(b)];
+}
+
+std::string
+LogHistogram::str() const
+{
+    std::ostringstream os;
+    std::uint64_t max_count = 0;
+    for (auto c : buckets_)
+        max_count = std::max(max_count, c);
+    for (int b = 0; b < numBuckets; ++b) {
+        std::uint64_t c = buckets_[static_cast<std::size_t>(b)];
+        if (c == 0)
+            continue;
+        int bar = max_count
+                      ? static_cast<int>(40 * c / max_count)
+                      : 0;
+        os << "[" << bucketLow(b) << "ns..) " << std::string(
+               static_cast<std::size_t>(std::max(bar, 1)), '#')
+           << " " << c << "\n";
+    }
+    return os.str();
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    for (int b = 0; b < numBuckets; ++b)
+        buckets_[static_cast<std::size_t>(b)] +=
+            other.buckets_[static_cast<std::size_t>(b)];
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+Breakdown::commFraction() const
+{
+    double total = commNs + compNs;
+    return total > 0 ? commNs / total : 0.0;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    MINOS_ASSERT(cells.size() == headers_.size(),
+                 "row width ", cells.size(), " != header width ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::fmt(double v, int digits)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(digits);
+    os << v;
+    return os.str();
+}
+
+} // namespace minos::stats

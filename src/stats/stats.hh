@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Measurement helpers for the evaluation harness: latency series with
+ * percentiles, throughput computation, and the communication/computation
+ * breakdown of Fig. 4.
+ */
+
+#ifndef MINOS_STATS_STATS_HH
+#define MINOS_STATS_STATS_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace minos::stats {
+
+/** A series of latency samples with summary statistics. */
+class LatencySeries
+{
+  public:
+    void add(Tick sample);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Min/max; 0 when empty. */
+    Tick min() const;
+    Tick max() const;
+
+    /** Percentile in [0, 100]; 0 when empty. Sorts lazily. */
+    Tick percentile(double p) const;
+
+    Tick p50() const { return percentile(50.0); }
+    Tick p99() const { return percentile(99.0); }
+
+    /** Merge another series into this one. */
+    void merge(const LatencySeries &other);
+
+    const std::vector<Tick> &samples() const { return samples_; }
+
+  private:
+    mutable std::vector<Tick> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Operations per second given a count and a simulated duration. */
+double opsPerSec(std::uint64_t ops, Tick duration);
+
+/**
+ * Log-scale latency histogram: power-of-two buckets from 1 ns up.
+ * O(1) insertion and memory regardless of sample count; used where a
+ * full LatencySeries would be too heavy, and for textual distribution
+ * dumps.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr int numBuckets = 48;
+
+    void add(Tick sample);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+
+    /** Approximate percentile (bucket upper bound), 0 when empty. */
+    Tick percentileUpperBound(double p) const;
+
+    /** Bucket index a sample lands in. */
+    static int bucketOf(Tick sample);
+
+    /** Lower bound of bucket @p b (inclusive). */
+    static Tick bucketLow(int b);
+
+    std::uint64_t bucketCount(int b) const;
+
+    /** Render an ASCII distribution (non-empty buckets only). */
+    std::string str() const;
+
+    void merge(const LogHistogram &other);
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+};
+
+/**
+ * Communication/computation split of write-transaction latency
+ * (paper §IV): communication is the host-send-queue to host-receive-queue
+ * time of the protocol's messages along the critical path; the rest of
+ * the transaction is computation.
+ */
+struct Breakdown
+{
+    double commNs = 0;
+    double compNs = 0;
+    std::uint64_t count = 0;
+
+    void
+    add(double comm, double comp)
+    {
+        commNs += comm;
+        compNs += comp;
+        ++count;
+    }
+
+    double meanComm() const { return count ? commNs / count : 0.0; }
+    double meanComp() const { return count ? compNs / count : 0.0; }
+    double meanTotal() const { return meanComm() + meanComp(); }
+
+    /** Fraction of total latency spent in communication, in [0,1]. */
+    double commFraction() const;
+};
+
+/** Fixed-width console table writer used by the bench binaries. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string str() const;
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string fmt(double v, int digits = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace minos::stats
+
+#endif // MINOS_STATS_STATS_HH

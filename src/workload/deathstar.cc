@@ -1,0 +1,49 @@
+#include "deathstar.hh"
+
+namespace minos::workload {
+
+FunctionSpec
+socialNetworkLogin()
+{
+    // Social Network Login: nginx -> UserService; loads the user profile
+    // and credentials, verifies, then writes the session token, login
+    // timestamp, and social-graph presence entries.
+    FunctionSpec spec;
+    spec.app = "Social";
+    spec.function = "Login";
+    spec.numGets = 10;
+    spec.numSets = 12;
+    spec.serviceRtts = 1;
+    return spec;
+}
+
+FunctionSpec
+mediaMicroservicesLogin()
+{
+    // Media Microservices Login: smaller state footprint — credentials +
+    // profile reads, session and watch-state writes.
+    FunctionSpec spec;
+    spec.app = "Media";
+    spec.function = "Login";
+    spec.numGets = 8;
+    spec.numSets = 8;
+    spec.serviceRtts = 1;
+    return spec;
+}
+
+std::vector<Op>
+invocationOps(const FunctionSpec &spec, KeyDistribution &keys, Rng &rng,
+              std::uint64_t &next_value)
+{
+    std::vector<Op> ops;
+    ops.reserve(static_cast<std::size_t>(spec.numGets + spec.numSets));
+    // Login interleaves reads (lookups) before writes (state updates),
+    // reads first, matching the credential-check-then-update pattern.
+    for (int i = 0; i < spec.numGets; ++i)
+        ops.push_back(Op{OpType::Read, keys.next(rng), 0});
+    for (int i = 0; i < spec.numSets; ++i)
+        ops.push_back(Op{OpType::Write, keys.next(rng), next_value++});
+    return ops;
+}
+
+} // namespace minos::workload

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DeathStarBench-style microservice workload (paper §VIII-C, Fig. 11).
+ *
+ * The paper evaluates the *Login* function of the *UserService*
+ * microservice in the Social Network and Media Microservices
+ * applications: each invocation performs a sequence of GET and SET
+ * key-value operations against MINOS (every SET runs the client-write
+ * algorithm, every GET the client-read algorithm), plus the fixed
+ * client-to-service round trip of 500 us measured in datacenters [3].
+ *
+ * The paper does not list the exact op counts, so we model Login from the
+ * DeathStarBench sources' access pattern: profile + credential lookups
+ * (GETs) followed by session/login-state updates (SETs), with the Social
+ * Network variant touching more state than Media. The op counts are
+ * explicit config so the experiment is transparent and tunable.
+ */
+
+#ifndef MINOS_WORKLOAD_DEATHSTAR_HH
+#define MINOS_WORKLOAD_DEATHSTAR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "workload/ycsb.hh"
+
+namespace minos::workload {
+
+/** A microservice function modeled as a KV op sequence + fixed RTTs. */
+struct FunctionSpec
+{
+    std::string app;      ///< "Social" or "Media"
+    std::string function; ///< "Login"
+    int numGets = 0;      ///< client-read invocations per call
+    int numSets = 0;      ///< client-write invocations per call
+    int serviceRtts = 1;  ///< client<->service round trips per call
+    Tick rttNs = 500 * US; ///< datacenter round-trip latency [3]
+};
+
+/** UserService.Login in the Social Network app. */
+FunctionSpec socialNetworkLogin();
+
+/** UserService.Login in the Media Microservices app. */
+FunctionSpec mediaMicroservicesLogin();
+
+/**
+ * Generate the KV op sequence for one invocation of @p spec. Keys are
+ * drawn from @p keys (user/session records); SET payload tokens come from
+ * @p next_value.
+ */
+std::vector<Op> invocationOps(const FunctionSpec &spec,
+                              KeyDistribution &keys, Rng &rng,
+                              std::uint64_t &next_value);
+
+} // namespace minos::workload
+
+#endif // MINOS_WORKLOAD_DEATHSTAR_HH

@@ -1,0 +1,87 @@
+#include "ycsb.hh"
+
+#include "common/logging.hh"
+
+namespace minos::workload {
+
+YcsbGenerator::YcsbGenerator(const YcsbConfig &cfg, std::uint32_t node_id)
+    : cfg_(cfg),
+      rng_(cfg.seed * 0x5851F42D4C957F2Dull + node_id + 1),
+      nextValue_((static_cast<std::uint64_t>(node_id) << 48) + 1)
+{
+    MINOS_ASSERT(cfg.writeFraction >= 0.0 && cfg.writeFraction <= 1.0,
+                 "writeFraction must be in [0,1]");
+    MINOS_ASSERT(cfg.rmwFraction >= 0.0 &&
+                 cfg.writeFraction + cfg.rmwFraction <= 1.0,
+                 "writeFraction + rmwFraction must be in [0,1]");
+    MINOS_ASSERT(cfg.numRecords > 0, "numRecords must be positive");
+    switch (cfg.dist) {
+      case KeyDist::Zipfian:
+        keys_ = std::make_unique<ZipfianKeys>(cfg.numRecords,
+                                              cfg.zipfTheta);
+        break;
+      case KeyDist::Uniform:
+        keys_ = std::make_unique<UniformKeys>(cfg.numRecords);
+        break;
+    }
+}
+
+YcsbConfig
+ycsbPreset(char workload)
+{
+    YcsbConfig cfg;
+    switch (workload) {
+      case 'A':
+      case 'a':
+        cfg.writeFraction = 0.5;
+        break;
+      case 'B':
+      case 'b':
+        cfg.writeFraction = 0.05;
+        break;
+      case 'C':
+      case 'c':
+        cfg.writeFraction = 0.0;
+        break;
+      case 'F':
+      case 'f':
+        cfg.writeFraction = 0.0;
+        cfg.rmwFraction = 0.5;
+        break;
+      default:
+        MINOS_FATAL("unknown YCSB preset '", workload,
+                    "' (supported: A, B, C, F)");
+    }
+    return cfg;
+}
+
+Op
+YcsbGenerator::next()
+{
+    Op op;
+    op.key = keys_->next(rng_);
+    double u = rng_.nextDouble();
+    if (u < cfg_.writeFraction) {
+        op.type = OpType::Write;
+        op.value = nextValue_++;
+    } else if (u < cfg_.writeFraction + cfg_.rmwFraction) {
+        op.type = OpType::ReadModifyWrite;
+        op.value = nextValue_++;
+    } else {
+        op.type = OpType::Read;
+        op.value = 0;
+    }
+    return op;
+}
+
+std::vector<Op>
+YcsbGenerator::stream(std::uint64_t n)
+{
+    std::vector<Op> ops;
+    ops.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        ops.push_back(next());
+    return ops;
+}
+
+} // namespace minos::workload

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * YCSB-style workload generation (paper §VII).
+ *
+ * Defaults match the paper: 100,000-record database per node, zipfian key
+ * distribution, 50% writes / 50% reads, 100,000 requests per node, 1 KB
+ * records. Fig. 9 varies the write (read) fraction over
+ * {20, 50, 80, 100}%; Fig. 14 switches the key distribution to uniform
+ * and sweeps the database size from 10 to 100 K records.
+ */
+
+#ifndef MINOS_WORKLOAD_YCSB_HH
+#define MINOS_WORKLOAD_YCSB_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "kv/record.hh"
+
+namespace minos::workload {
+
+/** Request kind. */
+enum class OpType : std::uint8_t
+{
+    Read,
+    Write,
+    /** YCSB workload F: read the record, then write it back. */
+    ReadModifyWrite,
+};
+
+/** One client request. */
+struct Op
+{
+    OpType type;
+    kv::Key key;
+    kv::Value value; // payload token for writes
+
+    friend bool operator==(const Op &, const Op &) = default;
+};
+
+/** Key distribution selector. */
+enum class KeyDist : std::uint8_t { Zipfian, Uniform };
+
+/** Workload parameters (paper defaults). */
+struct YcsbConfig
+{
+    std::uint64_t numRecords = 100'000;
+    std::uint64_t requestsPerNode = 100'000;
+    double writeFraction = 0.5;
+    /** Fraction of read-modify-write requests (YCSB workload F). */
+    double rmwFraction = 0.0;
+    KeyDist dist = KeyDist::Zipfian;
+    double zipfTheta = 0.99;
+    std::uint32_t recordBytes = 1024;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Standard YCSB core-workload presets:
+ *   A: update-heavy, 50% writes / 50% reads (the paper's default mix);
+ *   B: read-mostly, 5% writes / 95% reads;
+ *   C: read-only;
+ *   F: 50% reads / 50% read-modify-writes.
+ * All use the zipfian request distribution. (D and E need inserts and
+ * scans, which the replicated KV of the paper does not model.)
+ */
+YcsbConfig ycsbPreset(char workload);
+
+/**
+ * Deterministic request generator. Each node gets an independent stream
+ * (seeded by node id) so multi-node runs are reproducible.
+ */
+class YcsbGenerator
+{
+  public:
+    YcsbGenerator(const YcsbConfig &cfg, std::uint32_t node_id);
+
+    /** Draw the next request. */
+    Op next();
+
+    /** Generate a full stream of @p n requests. */
+    std::vector<Op> stream(std::uint64_t n);
+
+    const YcsbConfig &config() const { return cfg_; }
+
+  private:
+    YcsbConfig cfg_;
+    Rng rng_;
+    std::unique_ptr<KeyDistribution> keys_;
+    std::uint64_t nextValue_;
+};
+
+} // namespace minos::workload
+
+#endif // MINOS_WORKLOAD_YCSB_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for common utilities: RNG determinism, distributions,
+ * units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/random.hh"
+#include "common/units.hh"
+
+using namespace minos;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextUintRespectsBound)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextUint(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(4);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextIntCoversInclusiveRange)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.nextInt(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformKeys, RoughlyFlat)
+{
+    Rng rng(11);
+    UniformKeys keys(10);
+    std::map<std::uint64_t, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[keys.next(rng)]++;
+    EXPECT_EQ(counts.size(), 10u);
+    for (auto &[k, c] : counts) {
+        EXPECT_GT(c, n / 10 * 0.9);
+        EXPECT_LT(c, n / 10 * 1.1);
+    }
+}
+
+TEST(ZipfianKeys, RanksAreSkewed)
+{
+    Rng rng(12);
+    ZipfianKeys keys(1000, 0.99);
+    std::map<std::uint64_t, int> counts;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        counts[keys.nextRank(rng)]++;
+    // Rank 0 must be by far the hottest; top-10 ranks >> uniform share.
+    int top = counts[0];
+    EXPECT_GT(top, n / 20); // rank 0 alone > 5% of draws
+    int top10 = 0;
+    for (std::uint64_t r = 0; r < 10; ++r)
+        top10 += counts[r];
+    EXPECT_GT(top10, n / 5); // top-10 > 20%
+}
+
+TEST(ZipfianKeys, ScrambleSpreadsHotKeys)
+{
+    Rng rng(13);
+    ZipfianKeys keys(1000, 0.99);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 100000; ++i)
+        counts[keys.next(rng)]++;
+    // The hottest scrambled key should NOT be key 0 in general, and all
+    // keys must stay inside the key space.
+    for (auto &[k, c] : counts)
+        EXPECT_LT(k, 1000u);
+    // There is still one dominant key somewhere.
+    int max_count = 0;
+    for (auto &[k, c] : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 5000);
+}
+
+TEST(ZipfianKeys, SingleKeyDegenerate)
+{
+    Rng rng(14);
+    ZipfianKeys keys(1, 0.5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(keys.next(rng), 0u);
+}
+
+TEST(Fnv1a, KnownDistinctValues)
+{
+    EXPECT_NE(fnv1aHash64(0), fnv1aHash64(1));
+    EXPECT_NE(fnv1aHash64(1), fnv1aHash64(2));
+    EXPECT_EQ(fnv1aHash64(42), fnv1aHash64(42));
+}
+
+TEST(Units, SerializationDelayBasics)
+{
+    // 1 GB/s = 1 byte per ns.
+    EXPECT_EQ(serializationDelay(1000, 1e9), 1000);
+    // Rounds up partial ns.
+    EXPECT_EQ(serializationDelay(1, 1e9), 1);
+    EXPECT_EQ(serializationDelay(3, 2e9), 2); // 1.5ns -> 2
+    // Zero/infinite bandwidth yields zero delay.
+    EXPECT_EQ(serializationDelay(1000, 0.0), 0);
+}
+
+TEST(Units, Constants)
+{
+    EXPECT_EQ(US, 1000);
+    EXPECT_EQ(MS, 1000 * 1000);
+    EXPECT_EQ(SEC, 1000 * 1000 * 1000);
+    EXPECT_EQ(KiB, 1024u);
+}

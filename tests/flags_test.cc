@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/flags.hh"
+
+using minos::Flags;
+
+namespace {
+
+Flags
+make(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv(args);
+    return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Flags, EqualsSyntax)
+{
+    auto f = make({"prog", "--nodes=5", "--model=synch"});
+    EXPECT_EQ(f.getInt("nodes", 0), 5);
+    EXPECT_EQ(f.getString("model"), "synch");
+    EXPECT_TRUE(f.has("nodes"));
+    EXPECT_FALSE(f.has("records"));
+}
+
+TEST(Flags, SpaceSyntax)
+{
+    auto f = make({"prog", "--nodes", "7", "--model", "event"});
+    EXPECT_EQ(f.getInt("nodes", 0), 7);
+    EXPECT_EQ(f.getString("model"), "event");
+}
+
+TEST(Flags, BareBooleanSwitch)
+{
+    auto f = make({"prog", "--csv", "--verbose"});
+    EXPECT_TRUE(f.getBool("csv"));
+    EXPECT_TRUE(f.getBool("verbose"));
+    EXPECT_FALSE(f.getBool("quiet"));
+    EXPECT_TRUE(f.getBool("quiet", true)); // default honored
+}
+
+TEST(Flags, BooleanValues)
+{
+    auto f = make({"prog", "--a=true", "--b=false", "--c=1", "--d=0",
+                   "--e=yes", "--g=no"});
+    EXPECT_TRUE(f.getBool("a"));
+    EXPECT_FALSE(f.getBool("b"));
+    EXPECT_TRUE(f.getBool("c"));
+    EXPECT_FALSE(f.getBool("d"));
+    EXPECT_TRUE(f.getBool("e"));
+    EXPECT_FALSE(f.getBool("g"));
+}
+
+TEST(Flags, BareSwitchBeforeAnotherFlag)
+{
+    // `--csv --nodes=3`: csv must not swallow the next flag.
+    auto f = make({"prog", "--csv", "--nodes=3"});
+    EXPECT_TRUE(f.getBool("csv"));
+    EXPECT_EQ(f.getInt("nodes", 0), 3);
+}
+
+TEST(Flags, Positional)
+{
+    auto f = make({"prog", "input.txt", "--nodes=2", "output.txt"});
+    ASSERT_EQ(f.positional().size(), 2u);
+    EXPECT_EQ(f.positional()[0], "input.txt");
+    EXPECT_EQ(f.positional()[1], "output.txt");
+    EXPECT_EQ(f.program(), "prog");
+}
+
+TEST(Flags, DoubleDashEndsFlags)
+{
+    auto f = make({"prog", "--a=1", "--", "--not-a-flag"});
+    EXPECT_TRUE(f.has("a"));
+    ASSERT_EQ(f.positional().size(), 1u);
+    EXPECT_EQ(f.positional()[0], "--not-a-flag");
+}
+
+TEST(Flags, GetDouble)
+{
+    auto f = make({"prog", "--frac=0.8"});
+    EXPECT_DOUBLE_EQ(f.getDouble("frac", 0.0), 0.8);
+    EXPECT_DOUBLE_EQ(f.getDouble("missing", 0.25), 0.25);
+}
+
+TEST(Flags, UnknownFlagDetection)
+{
+    auto f = make({"prog", "--nodes=3", "--typo=1"});
+    auto unknown = f.unknownFlags({"nodes", "model"});
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, EmptyCommandLine)
+{
+    auto f = make({"prog"});
+    EXPECT_TRUE(f.positional().empty());
+    EXPECT_EQ(f.getInt("anything", 9), 9);
+}

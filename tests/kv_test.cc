@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for timestamps, record metadata, and the MINOS-KV stores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "kv/hashtable.hh"
+#include "kv/record.hh"
+#include "kv/store.hh"
+#include "kv/timestamp.hh"
+
+using namespace minos::kv;
+
+TEST(Timestamp, NoneIsSentinel)
+{
+    auto none = Timestamp::none();
+    EXPECT_TRUE(none.isNone());
+    EXPECT_EQ(none.version, -1);
+    EXPECT_EQ(none.node, -1);
+}
+
+TEST(Timestamp, OrderingByVersionThenNode)
+{
+    // Paper §III-A: newer = higher version; tie -> higher node_id.
+    Timestamp a{5, 0}, b{6, 0}, c{5, 1};
+    EXPECT_LT(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_LT(c, b);
+    EXPECT_GT(b, a);
+    EXPECT_EQ(a, (Timestamp{5, 0}));
+}
+
+TEST(Timestamp, NoneOrdersBeforeEverything)
+{
+    EXPECT_LT(Timestamp::none(), (Timestamp{0, 0}));
+    EXPECT_LT(Timestamp::none(), (Timestamp{1, 3}));
+}
+
+TEST(Timestamp, PackRoundTrips)
+{
+    std::vector<Timestamp> cases = {
+        Timestamp::none(), {0, 0}, {1, 0}, {0, 1}, {123456789, 42},
+        {1, 65533},
+    };
+    for (const auto &ts : cases)
+        EXPECT_EQ(Timestamp::unpack(ts.pack()), ts);
+}
+
+TEST(Timestamp, PackPreservesOrdering)
+{
+    std::vector<Timestamp> sorted = {
+        Timestamp::none(), {0, 0}, {0, 5}, {1, 0}, {2, 0}, {2, 3},
+        {100, 0},
+    };
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        EXPECT_LT(sorted[i], sorted[i + 1]);
+        EXPECT_LT(sorted[i].pack(), sorted[i + 1].pack());
+    }
+}
+
+TEST(Record, FreshRecordState)
+{
+    Record rec;
+    EXPECT_TRUE(rec.rdLockFree());
+    EXPECT_TRUE(rec.volatileTs.isNone());
+    EXPECT_TRUE(rec.glbVolatileTs.isNone());
+    EXPECT_TRUE(rec.glbDurableTs.isNone());
+}
+
+TEST(Record, ObsoleteCheck)
+{
+    Record rec;
+    // Nothing written yet: no write is obsolete.
+    EXPECT_FALSE(isObsolete(rec, Timestamp{1, 0}));
+    rec.volatileTs = Timestamp{5, 2};
+    EXPECT_TRUE(isObsolete(rec, Timestamp{4, 3}));  // older version
+    EXPECT_TRUE(isObsolete(rec, Timestamp{5, 1}));  // same ver, lower node
+    EXPECT_FALSE(isObsolete(rec, Timestamp{5, 2})); // itself: not obsolete
+    EXPECT_FALSE(isObsolete(rec, Timestamp{5, 3})); // newer
+    EXPECT_FALSE(isObsolete(rec, Timestamp{6, 0}));
+}
+
+TEST(SimStore, HoldsIndependentRecords)
+{
+    SimStore store(10);
+    EXPECT_EQ(store.size(), 10u);
+    store.at(3).value = 99;
+    store.at(3).volatileTs = Timestamp{1, 0};
+    EXPECT_EQ(store.at(3).value, 99u);
+    EXPECT_EQ(store.at(4).value, 0u);
+    EXPECT_TRUE(store.at(4).volatileTs.isNone());
+}
+
+TEST(AtomicRecord, InitializedToNone)
+{
+    AtomicRecord rec;
+    EXPECT_TRUE(rec.loadRdLockOwner().isNone());
+    EXPECT_TRUE(rec.loadVolatileTs().isNone());
+    EXPECT_TRUE(rec.loadGlbVolatileTs().isNone());
+    EXPECT_TRUE(rec.loadGlbDurableTs().isNone());
+    EXPECT_FALSE(rec.wrLock.load());
+}
+
+TEST(AtomicRecord, RaiseTsIsMonotonic)
+{
+    AtomicRecord rec;
+    EXPECT_TRUE(AtomicRecord::raiseTs(rec.volatileTs, Timestamp{3, 0}));
+    EXPECT_EQ(rec.loadVolatileTs(), (Timestamp{3, 0}));
+    // Older value must not overwrite.
+    EXPECT_FALSE(AtomicRecord::raiseTs(rec.volatileTs, Timestamp{2, 9}));
+    EXPECT_EQ(rec.loadVolatileTs(), (Timestamp{3, 0}));
+    // Equal value: no update needed.
+    EXPECT_FALSE(AtomicRecord::raiseTs(rec.volatileTs, Timestamp{3, 0}));
+    // Newer: updates.
+    EXPECT_TRUE(AtomicRecord::raiseTs(rec.volatileTs, Timestamp{3, 1}));
+    EXPECT_EQ(rec.loadVolatileTs(), (Timestamp{3, 1}));
+}
+
+TEST(AtomicRecord, RaiseTsUnderContention)
+{
+    AtomicRecord rec;
+    constexpr int threads = 8;
+    constexpr int per_thread = 1000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&rec, t] {
+            for (int i = 0; i < per_thread; ++i)
+                AtomicRecord::raiseTs(rec.volatileTs,
+                                      Timestamp{i, t});
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    // The maximum must win: version per_thread-1, node threads-1.
+    EXPECT_EQ(rec.loadVolatileTs(),
+              (Timestamp{per_thread - 1, threads - 1}));
+}
+
+TEST(HashTable, GetOrCreateFindsSameRecord)
+{
+    HashTable table(64);
+    auto &a = table.getOrCreate(42);
+    a.value.store(7);
+    auto *b = table.find(42);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->value.load(), 7u);
+    EXPECT_EQ(&a, b);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(HashTable, MissingKeyIsNull)
+{
+    HashTable table(8);
+    EXPECT_EQ(table.find(9999), nullptr);
+}
+
+TEST(HashTable, ManyKeysWithCollisions)
+{
+    HashTable table(4); // tiny bucket count forces chains
+    for (Key k = 0; k < 1000; ++k)
+        table.getOrCreate(k).value.store(k * 3);
+    EXPECT_EQ(table.size(), 1000u);
+    for (Key k = 0; k < 1000; ++k) {
+        auto *rec = table.find(k);
+        ASSERT_NE(rec, nullptr) << "key " << k;
+        EXPECT_EQ(rec->value.load(), k * 3);
+    }
+}
+
+TEST(HashTable, ConcurrentInsertsAreConsistent)
+{
+    HashTable table(128);
+    constexpr int threads = 8;
+    constexpr Key keys = 2000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&table] {
+            for (Key k = 0; k < keys; ++k)
+                table.getOrCreate(k);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(table.size(), keys);
+    // All threads must agree on the same record object per key.
+    for (Key k = 0; k < keys; ++k)
+        EXPECT_NE(table.find(k), nullptr);
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the protocol message vocabulary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/message.hh"
+
+using namespace minos::net;
+using minos::kv::Timestamp;
+
+TEST(Message, TypeNamesMatchTableI)
+{
+    EXPECT_EQ(msgTypeName(MsgType::INV), "INV");
+    EXPECT_EQ(msgTypeName(MsgType::ACK), "ACK");
+    EXPECT_EQ(msgTypeName(MsgType::ACK_C), "ACK_C");
+    EXPECT_EQ(msgTypeName(MsgType::ACK_P), "ACK_P");
+    EXPECT_EQ(msgTypeName(MsgType::VAL), "VAL");
+    EXPECT_EQ(msgTypeName(MsgType::VAL_C), "VAL_C");
+    EXPECT_EQ(msgTypeName(MsgType::VAL_P), "VAL_P");
+    EXPECT_EQ(msgTypeName(MsgType::INV_SC), "[INV]sc");
+    EXPECT_EQ(msgTypeName(MsgType::ACK_C_SC), "[ACK_C]sc");
+    EXPECT_EQ(msgTypeName(MsgType::ACK_P_SC), "[ACK_P]sc");
+    EXPECT_EQ(msgTypeName(MsgType::VAL_C_SC), "[VAL_C]sc");
+    EXPECT_EQ(msgTypeName(MsgType::VAL_P_SC), "[VAL_P]sc");
+    EXPECT_EQ(msgTypeName(MsgType::PERSIST_SC), "[PERSIST]sc");
+}
+
+TEST(Message, OnlyInvFamilyCarriesData)
+{
+    EXPECT_TRUE(carriesData(MsgType::INV));
+    EXPECT_TRUE(carriesData(MsgType::INV_SC));
+    EXPECT_FALSE(carriesData(MsgType::ACK));
+    EXPECT_FALSE(carriesData(MsgType::VAL));
+    EXPECT_FALSE(carriesData(MsgType::PERSIST_SC));
+    EXPECT_FALSE(carriesData(MsgType::ACK_P_SC));
+}
+
+TEST(Message, ScopedFamily)
+{
+    EXPECT_TRUE(isScoped(MsgType::INV_SC));
+    EXPECT_TRUE(isScoped(MsgType::ACK_C_SC));
+    EXPECT_TRUE(isScoped(MsgType::ACK_P_SC));
+    EXPECT_TRUE(isScoped(MsgType::VAL_C_SC));
+    EXPECT_TRUE(isScoped(MsgType::VAL_P_SC));
+    EXPECT_TRUE(isScoped(MsgType::PERSIST_SC));
+    EXPECT_FALSE(isScoped(MsgType::INV));
+    EXPECT_FALSE(isScoped(MsgType::ACK_C));
+    EXPECT_FALSE(isScoped(MsgType::VAL_P));
+}
+
+TEST(Message, MakeResponseSwapsEndpoints)
+{
+    Message inv;
+    inv.type = MsgType::INV;
+    inv.src = 0;
+    inv.dst = 3;
+    inv.key = 77;
+    inv.tsWr = Timestamp{5, 0};
+    inv.value = 123;
+    inv.sizeBytes = 1024;
+    inv.destMask = 0b1110;
+    inv.handleNs = 999;
+
+    Message ack = makeResponse(inv, MsgType::ACK);
+    EXPECT_EQ(ack.type, MsgType::ACK);
+    EXPECT_EQ(ack.src, 3);
+    EXPECT_EQ(ack.dst, 0);
+    EXPECT_EQ(ack.key, 77u);
+    EXPECT_EQ(ack.tsWr, (Timestamp{5, 0}));
+    // Control responses are small and carry no batching/handling state.
+    EXPECT_EQ(ack.sizeBytes, controlMsgBytes);
+    EXPECT_EQ(ack.destMask, 0u);
+    EXPECT_EQ(ack.handleNs, 0);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Property-style tests of the fabric timing models: invariants that
+ * must hold for arbitrary traffic patterns (monotonic arrivals,
+ * bandwidth conservation, stage serialization), driven by randomized
+ * but seeded workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sim/network.hh"
+#include "sim/simulator.hh"
+
+using namespace minos;
+using namespace minos::sim;
+
+class LinkPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 42u));
+
+TEST_P(LinkPropertyTest, ArrivalsAreMonotonicAndConserveBandwidth)
+{
+    Simulator sim;
+    Rng rng(GetParam());
+    const Tick latency = rng.nextInt(0, 1000);
+    const double bw = 1e9 * static_cast<double>(rng.nextInt(1, 10));
+    const Tick overhead = rng.nextInt(0, 400);
+    Link link(sim, latency, bw, overhead);
+
+    Tick prev_arrival = 0;
+    Tick total_ser = 0;
+    const int msgs = 500;
+    for (int i = 0; i < msgs; ++i) {
+        auto bytes = rng.nextUint(4096) + 1;
+        Tick earliest = rng.nextInt(0, 50); // still >= now (= 0)
+        Tick arrival = link.transferFrom(earliest, bytes);
+        // Arrivals on one link never reorder.
+        EXPECT_GE(arrival, prev_arrival);
+        // Each message takes at least overhead + serialization + latency.
+        Tick ser = overhead + serializationDelay(bytes, bw);
+        EXPECT_GE(arrival, earliest + ser + latency);
+        prev_arrival = arrival;
+        total_ser += ser;
+    }
+    // Bandwidth conservation: the link was busy at least the sum of all
+    // serialization times.
+    EXPECT_GE(link.busyUntil(), total_ser);
+    EXPECT_EQ(link.messagesTransferred(),
+              static_cast<std::uint64_t>(msgs));
+}
+
+TEST_P(LinkPropertyTest, SerialStageNeverOverlaps)
+{
+    Rng rng(GetParam());
+    SerialStage stage;
+    Tick prev_done = 0;
+    Tick total_service = 0;
+    for (int i = 0; i < 1000; ++i) {
+        Tick earliest = rng.nextInt(0, 2000);
+        Tick service = rng.nextInt(1, 300);
+        Tick done = stage.occupyFrom(earliest, service);
+        EXPECT_GE(done, earliest + service);
+        EXPECT_GE(done, prev_done + service); // strictly serial
+        prev_done = done;
+        total_service += service;
+    }
+    EXPECT_GE(stage.busyUntil(), total_service);
+}
+
+TEST(LinkProperty, InfiniteBandwidthOnlyLatency)
+{
+    Simulator sim;
+    Link link(sim, 250, 0.0);
+    EXPECT_EQ(link.transfer(1 << 20), 250);
+    EXPECT_EQ(link.transfer(1), 250); // no serialization to queue behind
+}
+
+TEST(ZipfianProperty, FrequencyDecreasesWithRank)
+{
+    Rng rng(99);
+    ZipfianKeys keys(1000, 0.99);
+    std::vector<int> counts(1000, 0);
+    const int n = 500'000;
+    for (int i = 0; i < n; ++i)
+        counts[static_cast<std::size_t>(keys.nextRank(rng))]++;
+    // Aggregate adjacent decades: each decade of ranks must draw fewer
+    // samples than the previous one.
+    auto decade = [&](int lo, int hi) {
+        int sum = 0;
+        for (int r = lo; r < hi; ++r)
+            sum += counts[static_cast<std::size_t>(r)];
+        return sum;
+    };
+    EXPECT_GT(decade(0, 10), decade(10, 100));
+    EXPECT_GT(decade(10, 100), decade(100, 1000) / 2);
+    // Rank 0 is the single hottest rank.
+    for (int r = 1; r < 1000; ++r)
+        EXPECT_GE(counts[0], counts[static_cast<std::size_t>(r)])
+            << "rank " << r;
+}
+
+TEST(CorePoolProperty, ThroughputBoundedByCores)
+{
+    // N cores, J jobs of C ticks each: the makespan can never beat
+    // ceil(J/N)*C and never exceed J*C.
+    for (int cores : {1, 2, 4, 8}) {
+        Simulator sim;
+        CorePool pool(sim, cores);
+        const int jobs = 37;
+        const Tick cost = 100;
+        int done = 0;
+        struct Worker
+        {
+            static Process
+            run(CorePool *pool, Tick cost, int *done)
+            {
+                co_await pool->compute(cost);
+                ++*done;
+            }
+        };
+        for (int j = 0; j < jobs; ++j)
+            sim.spawn(Worker::run(&pool, cost, &done));
+        sim.run();
+        EXPECT_EQ(done, jobs);
+        Tick lower = (jobs + cores - 1) / cores * cost;
+        EXPECT_GE(sim.now(), lower) << cores << " cores";
+        EXPECT_LE(sim.now(), static_cast<Tick>(jobs) * cost)
+            << cores << " cores";
+    }
+}

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests of the threaded MINOS-B runtime: the paper's algorithms under
+ * real thread concurrency — replication, conflicting writers,
+ * linearizable read-after-write, scope persistence, and the §III-E
+ * failure-detection + recovery path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "proto/tnode.hh"
+
+using namespace minos;
+using namespace minos::proto;
+using kv::Key;
+using kv::NodeId;
+using kv::Timestamp;
+using kv::Value;
+
+namespace {
+
+ThreadedConfig
+smallConfig(PersistModel model, int nodes = 3)
+{
+    ThreadedConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.model = model;
+    cfg.numRecords = 256;
+    // Keep the emulated persist short so tests stay fast.
+    cfg.persistNsPerKb = 300;
+    cfg.wireLatency = std::chrono::microseconds(1);
+    cfg.ackTimeout = std::chrono::milliseconds(200);
+    return cfg;
+}
+
+/** Wait (bounded) until a predicate holds; returns success. */
+template <typename Pred>
+bool
+eventually(Pred &&pred,
+           std::chrono::milliseconds limit = std::chrono::seconds(5))
+{
+    auto deadline = std::chrono::steady_clock::now() + limit;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::yield();
+    }
+    return pred();
+}
+
+void
+expectReplicated(ThreadedCluster &cluster, Key key, Value value,
+                 Timestamp ts)
+{
+    for (int n = 0; n < cluster.config().numNodes; ++n) {
+        const kv::AtomicRecord *rec =
+            cluster.node(static_cast<NodeId>(n)).record(key);
+        ASSERT_NE(rec, nullptr) << "node " << n;
+        EXPECT_EQ(rec->value.load(), value) << "node " << n;
+        EXPECT_EQ(rec->loadVolatileTs(), ts) << "node " << n;
+    }
+}
+
+} // namespace
+
+class TModelTest : public ::testing::TestWithParam<PersistModel>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TModelTest,
+                         ::testing::ValuesIn(simproto::allModels),
+                         [](const auto &info) {
+                             return std::string(
+                                 simproto::shortModelName(info.param));
+                         });
+
+TEST_P(TModelTest, SingleWriteReplicates)
+{
+    ThreadedCluster cluster(smallConfig(GetParam()));
+    WriteResult res = cluster.node(0).write(7, 1234);
+    EXPECT_FALSE(res.obsolete);
+    EXPECT_EQ(res.ts, (Timestamp{0, 0}));
+    expectReplicated(cluster, 7, 1234, res.ts);
+    // Every replica releases its RDLock once the VALs land.
+    EXPECT_TRUE(eventually([&] {
+        for (int n = 0; n < 3; ++n) {
+            const auto *rec = cluster.node(n).record(7);
+            if (!rec || !rec->loadRdLockOwner().isNone())
+                return false;
+        }
+        return true;
+    }));
+}
+
+TEST_P(TModelTest, ReadAfterWriteIsLinearizable)
+{
+    ThreadedCluster cluster(smallConfig(GetParam()));
+    // Once the write response returns, a read anywhere must see the
+    // value (Lin consistency).
+    cluster.node(1).write(3, 42);
+    for (int n = 0; n < 3; ++n)
+        EXPECT_EQ(cluster.node(n).read(3), 42u) << "node " << n;
+}
+
+TEST_P(TModelTest, SequentialWritesMonotonicVersions)
+{
+    ThreadedCluster cluster(smallConfig(GetParam()));
+    auto r1 = cluster.node(0).write(5, 100);
+    auto r2 = cluster.node(1).write(5, 200);
+    auto r3 = cluster.node(2).write(5, 300);
+    EXPECT_LT(r1.ts, r2.ts);
+    EXPECT_LT(r2.ts, r3.ts);
+    expectReplicated(cluster, 5, 300, r3.ts);
+}
+
+TEST_P(TModelTest, DurableAtQuiescence)
+{
+    ThreadedCluster cluster(smallConfig(GetParam()));
+    cluster.node(0).write(9, 77);
+    if (GetParam() == PersistModel::Scope)
+        cluster.node(0).persistScope(0);
+    // Background persisters may still be draining.
+    EXPECT_TRUE(eventually([&] {
+        for (int n = 0; n < 3; ++n) {
+            auto db = cluster.node(n).durableDb();
+            auto it = db.find(9);
+            if (it == db.end() || it->second.value != 77u)
+                return false;
+        }
+        return true;
+    }));
+}
+
+TEST_P(TModelTest, ConcurrentWritersFromAllNodesConverge)
+{
+    ThreadedCluster cluster(smallConfig(GetParam()));
+    constexpr int writes_per_node = 30;
+    std::vector<std::thread> clients;
+    for (int n = 0; n < 3; ++n) {
+        clients.emplace_back([&cluster, n] {
+            for (int i = 0; i < writes_per_node; ++i) {
+                // Everyone hammers the same small key range.
+                cluster.node(n).write(
+                    static_cast<Key>(i % 4),
+                    static_cast<Value>(n * 1000 + i));
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    // All replicas converge per key (volatileTS equal and RDLock free).
+    EXPECT_TRUE(eventually([&] {
+        for (Key k = 0; k < 4; ++k) {
+            const auto *r0 = cluster.node(0).record(k);
+            if (!r0)
+                return false;
+            auto ts = r0->loadVolatileTs();
+            for (int n = 0; n < 3; ++n) {
+                const auto *rec = cluster.node(n).record(k);
+                if (!rec || rec->loadVolatileTs() != ts ||
+                    !rec->loadRdLockOwner().isNone())
+                    return false;
+                if (rec->value.load() != r0->value.load())
+                    return false;
+            }
+        }
+        return true;
+    }));
+}
+
+TEST_P(TModelTest, ConcurrentSameKeyWritersProduceUniqueTimestamps)
+{
+    ThreadedCluster cluster(smallConfig(GetParam()));
+    constexpr int threads = 4, per_thread = 20;
+    std::mutex mu;
+    std::set<Timestamp> seen;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            NodeId node = static_cast<NodeId>(t % 3);
+            for (int i = 0; i < per_thread; ++i) {
+                auto res = cluster.node(node).write(0, 1);
+                std::lock_guard<std::mutex> guard(mu);
+                EXPECT_TRUE(seen.insert(res.ts).second)
+                    << "duplicate TS_WR " << res.ts;
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(threads * per_thread));
+}
+
+TEST(ThreadedScope, PersistScopeMakesScopeDurable)
+{
+    ThreadedCluster cluster(smallConfig(PersistModel::Scope));
+    cluster.node(0).write(1, 10, /*scope=*/5);
+    cluster.node(0).write(2, 20, /*scope=*/5);
+    cluster.node(0).persistScope(5);
+    // After [PERSIST]sc returns, both writes are durable on all nodes.
+    for (int n = 0; n < 3; ++n) {
+        auto db = cluster.node(n).durableDb();
+        ASSERT_TRUE(db.count(1)) << "node " << n;
+        ASSERT_TRUE(db.count(2)) << "node " << n;
+        EXPECT_EQ(db[1].value, 10u);
+        EXPECT_EQ(db[2].value, 20u);
+    }
+}
+
+TEST(ThreadedRecovery, WritesSurviveNodeFailure)
+{
+    auto cfg = smallConfig(PersistModel::Synch);
+    cfg.ackTimeout = std::chrono::milliseconds(30);
+    ThreadedCluster cluster(cfg);
+
+    cluster.node(0).write(1, 11);
+    cluster.failNode(2);
+
+    // The next write times out on node 2, declares it failed, and
+    // completes against the shrunken live set.
+    auto res = cluster.node(0).write(1, 22);
+    EXPECT_FALSE(res.obsolete);
+    EXPECT_FALSE(recovery::isLive(cluster.node(0).liveMask(), 2));
+    EXPECT_EQ(cluster.node(0).read(1), 22u);
+    EXPECT_EQ(cluster.node(1).read(1), 22u);
+
+    // Node 1 learns about the failure via the control plane.
+    EXPECT_TRUE(eventually(
+        [&] { return !recovery::isLive(cluster.node(1).liveMask(), 2); }));
+}
+
+TEST(ThreadedRecovery, RejoinCatchesUpViaLogShipping)
+{
+    auto cfg = smallConfig(PersistModel::Synch);
+    cfg.ackTimeout = std::chrono::milliseconds(30);
+    ThreadedCluster cluster(cfg);
+
+    cluster.node(0).write(1, 11);
+    cluster.failNode(2);
+    cluster.node(0).write(1, 22); // triggers detection
+    cluster.node(1).write(2, 33);
+    cluster.node(0).write(3, 44);
+
+    cluster.healAndRejoin(2);
+
+    // Node 2 replays the designated node's log and converges.
+    EXPECT_TRUE(eventually([&] {
+        const auto *r1 = cluster.node(2).record(1);
+        const auto *r2 = cluster.node(2).record(2);
+        const auto *r3 = cluster.node(2).record(3);
+        return r1 && r2 && r3 && r1->value.load() == 22u &&
+               r2->value.load() == 33u && r3->value.load() == 44u;
+    }));
+    // Its durable state matches too.
+    auto db = cluster.node(2).durableDb();
+    EXPECT_EQ(db[1].value, 22u);
+    EXPECT_EQ(db[2].value, 33u);
+    EXPECT_EQ(db[3].value, 44u);
+    // And everyone sees it live again.
+    EXPECT_TRUE(eventually([&] {
+        return recovery::isLive(cluster.node(0).liveMask(), 2) &&
+               recovery::isLive(cluster.node(1).liveMask(), 2) &&
+               recovery::isLive(cluster.node(2).liveMask(), 2);
+    }));
+}
+
+TEST(ThreadedRecovery, RejoinWorksAfterLogCompaction)
+{
+    // A designated node whose log has been compacted into a snapshot
+    // must still be able to catch a rejoining node up.
+    auto cfg = smallConfig(PersistModel::Synch);
+    cfg.ackTimeout = std::chrono::milliseconds(30);
+    ThreadedCluster cluster(cfg);
+
+    cluster.node(0).write(1, 11);
+    cluster.node(0).write(1, 12);
+    cluster.node(0).write(2, 21);
+    cluster.failNode(2);
+    cluster.node(0).write(3, 31); // detection
+    cluster.node(0).compactLog();
+    EXPECT_GT(cluster.node(0).logSize(),
+              cluster.node(0).durableDb().size() - 1);
+
+    cluster.healAndRejoin(2);
+    EXPECT_TRUE(eventually([&] {
+        auto db = cluster.node(2).durableDb();
+        return db.count(1) && db.count(2) && db.count(3) &&
+               db[1].value == 12 && db[2].value == 21 &&
+               db[3].value == 31;
+    }));
+}
+
+TEST(ThreadedRecovery, RejoinedNodeParticipatesInNewWrites)
+{
+    auto cfg = smallConfig(PersistModel::Synch);
+    cfg.ackTimeout = std::chrono::milliseconds(30);
+    ThreadedCluster cluster(cfg);
+
+    cluster.failNode(2);
+    cluster.node(0).write(1, 11); // detection
+    cluster.healAndRejoin(2);
+    ASSERT_TRUE(eventually(
+        [&] { return recovery::isLive(cluster.node(0).liveMask(), 2); }));
+
+    // A new write must replicate to the rejoined node.
+    auto res = cluster.node(0).write(5, 55);
+    EXPECT_TRUE(eventually([&] {
+        const auto *rec = cluster.node(2).record(5);
+        return rec && rec->value.load() == 55u &&
+               rec->loadVolatileTs() == res.ts;
+    }));
+}
+
+TEST(ThreadedFabric, DropsTrafficWhenLinkDown)
+{
+    runtime::Fabric fabric(2, std::chrono::nanoseconds(0));
+    net::Message m;
+    m.src = 0;
+    m.dst = 1;
+    fabric.setLinkUp(1, false);
+    fabric.send(m);
+    EXPECT_EQ(fabric.dropped(), 1u);
+    EXPECT_FALSE(fabric.poll(1).has_value());
+    fabric.setLinkUp(1, true);
+    fabric.send(m);
+    EXPECT_TRUE(eventually([&] { return fabric.poll(1).has_value(); }));
+}
+
+TEST(ThreadedFabric, DeliversAfterLatency)
+{
+    runtime::Fabric fabric(2, std::chrono::microseconds(200));
+    net::Message m;
+    m.src = 0;
+    m.dst = 1;
+    auto t0 = std::chrono::steady_clock::now();
+    fabric.send(m);
+    while (!fabric.poll(1).has_value())
+        std::this_thread::yield();
+    auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, std::chrono::microseconds(200));
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the loopback fabric and the recovery control plane.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "recovery/ctrl.hh"
+#include "runtime/fabric.hh"
+
+using namespace minos;
+using namespace minos::runtime;
+using namespace minos::recovery;
+
+TEST(Envelope, DstAndSrcExtraction)
+{
+    net::Message m;
+    m.src = 1;
+    m.dst = 2;
+    Envelope pe = m;
+    EXPECT_EQ(envelopeSrc(pe), 1);
+    EXPECT_EQ(envelopeDst(pe), 2);
+
+    CtrlMsg c;
+    c.src = 3;
+    c.dst = 0;
+    Envelope ce = c;
+    EXPECT_EQ(envelopeSrc(ce), 3);
+    EXPECT_EQ(envelopeDst(ce), 0);
+}
+
+TEST(FabricBasic, FifoPerDestination)
+{
+    Fabric fabric(2, std::chrono::nanoseconds(0));
+    for (int i = 0; i < 5; ++i) {
+        net::Message m;
+        m.src = 0;
+        m.dst = 1;
+        m.key = static_cast<kv::Key>(i);
+        fabric.send(m);
+    }
+    for (int i = 0; i < 5; ++i) {
+        auto env = fabric.poll(1);
+        ASSERT_TRUE(env.has_value());
+        EXPECT_EQ(std::get<net::Message>(*env).key,
+                  static_cast<kv::Key>(i));
+    }
+    EXPECT_FALSE(fabric.poll(1).has_value());
+}
+
+TEST(FabricBasic, IndependentQueuesPerNode)
+{
+    Fabric fabric(3, std::chrono::nanoseconds(0));
+    net::Message to1, to2;
+    to1.src = 0;
+    to1.dst = 1;
+    to2.src = 0;
+    to2.dst = 2;
+    fabric.send(to1);
+    fabric.send(to2);
+    EXPECT_TRUE(fabric.poll(1).has_value());
+    EXPECT_TRUE(fabric.poll(2).has_value());
+    EXPECT_FALSE(fabric.poll(0).has_value());
+}
+
+TEST(FabricBasic, DownLinkDropsBothDirections)
+{
+    Fabric fabric(2, std::chrono::nanoseconds(0));
+    fabric.setLinkUp(0, false);
+    net::Message from0, to0;
+    from0.src = 0;
+    from0.dst = 1;
+    to0.src = 1;
+    to0.dst = 0;
+    fabric.send(from0);
+    fabric.send(to0);
+    EXPECT_EQ(fabric.dropped(), 2u);
+    EXPECT_FALSE(fabric.poll(1).has_value());
+    EXPECT_FALSE(fabric.poll(0).has_value());
+}
+
+TEST(FabricBasic, LinkDownClearsQueuedTraffic)
+{
+    Fabric fabric(2, std::chrono::hours(1)); // never deliverable
+    net::Message m;
+    m.src = 0;
+    m.dst = 1;
+    fabric.send(m);
+    fabric.setLinkUp(1, false);
+    EXPECT_EQ(fabric.dropped(), 1u);
+    fabric.setLinkUp(1, true);
+    EXPECT_FALSE(fabric.poll(1).has_value());
+}
+
+TEST(FabricBasic, ConcurrentSendersAllDeliver)
+{
+    Fabric fabric(2, std::chrono::nanoseconds(0));
+    constexpr int threads = 8, per_thread = 500;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&fabric] {
+            for (int i = 0; i < per_thread; ++i) {
+                net::Message m;
+                m.src = 0;
+                m.dst = 1;
+                fabric.send(m);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    int received = 0;
+    while (fabric.poll(1).has_value())
+        ++received;
+    EXPECT_EQ(received, threads * per_thread);
+}
+
+TEST(Ctrl, DesignatedNodeIsLowestLive)
+{
+    EXPECT_EQ(designatedNode(0b111, 3), 0);
+    EXPECT_EQ(designatedNode(0b110, 3), 1);
+    EXPECT_EQ(designatedNode(0b100, 3), 2);
+    EXPECT_EQ(designatedNode(0b000, 3), -1);
+}
+
+TEST(Ctrl, NodeBitHelpers)
+{
+    EXPECT_EQ(nodeBit(0), 1u);
+    EXPECT_EQ(nodeBit(5), 32u);
+    EXPECT_TRUE(isLive(0b101, 0));
+    EXPECT_FALSE(isLive(0b101, 1));
+    EXPECT_TRUE(isLive(0b101, 2));
+}

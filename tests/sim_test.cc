@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulator core: event ordering,
+ * coroutine processes, tasks, conditions, mailboxes, links, core pools.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/condition.hh"
+#include "sim/network.hh"
+#include "sim/process.hh"
+#include "sim/simulator.hh"
+
+using namespace minos;
+using namespace minos::sim;
+
+TEST(Simulator, StartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+    EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTickFifoOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        sim.schedule(5, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingAdvancesTime)
+{
+    Simulator sim;
+    Tick seen = -1;
+    sim.schedule(10, [&] {
+        sim.after(15, [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, 25);
+}
+
+TEST(Simulator, RunUntilStopsAtLimit)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.schedule(100, [&] { ++fired; });
+    EXPECT_FALSE(sim.runUntil(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 50);
+    EXPECT_TRUE(sim.runUntil(200));
+    EXPECT_EQ(fired, 2);
+}
+
+namespace {
+
+Process
+delayProcess(Simulator &, Tick d, Tick *finished_at, Simulator *simp)
+{
+    co_await delay(d);
+    *finished_at = simp->now();
+}
+
+} // namespace
+
+TEST(Process, DelayAdvancesSimTime)
+{
+    Simulator sim;
+    Tick finished = -1;
+    sim.spawn(delayProcess(sim, 123, &finished, &sim));
+    sim.run();
+    EXPECT_EQ(finished, 123);
+    EXPECT_EQ(sim.numLiveProcesses(), 0u);
+}
+
+namespace {
+
+Process
+chainedDelays(Simulator *simp, std::vector<Tick> *trace)
+{
+    for (int i = 0; i < 3; ++i) {
+        co_await delay(10);
+        trace->push_back(simp->now());
+    }
+}
+
+} // namespace
+
+TEST(Process, SequentialDelaysAccumulate)
+{
+    Simulator sim;
+    std::vector<Tick> trace;
+    sim.spawn(chainedDelays(&sim, &trace));
+    sim.run();
+    EXPECT_EQ(trace, (std::vector<Tick>{10, 20, 30}));
+}
+
+namespace {
+
+Task<int>
+subTask(Tick d)
+{
+    co_await delay(d);
+    co_return 7;
+}
+
+Task<void>
+voidSub(Tick d, int *out)
+{
+    co_await delay(d);
+    *out += 1;
+}
+
+Process
+taskCaller(Simulator *simp, int *result, Tick *t)
+{
+    int v = co_await subTask(40);
+    *result = v;
+    *t = simp->now();
+    co_await voidSub(2, result);
+}
+
+} // namespace
+
+TEST(Task, AwaitableSubroutinesReturnValues)
+{
+    Simulator sim;
+    int result = 0;
+    Tick t = -1;
+    sim.spawn(taskCaller(&sim, &result, &t));
+    sim.run();
+    EXPECT_EQ(result, 8); // 7 from subTask, +1 from voidSub
+    EXPECT_EQ(t, 40);
+}
+
+namespace {
+
+Process
+waiter(Condition *cond, bool *flag, Tick *woke_at, Simulator *simp)
+{
+    while (!*flag)
+        co_await cond->wait();
+    *woke_at = simp->now();
+}
+
+Process
+notifier(Condition *cond, bool *flag)
+{
+    co_await delay(50);
+    *flag = true;
+    cond->notifyAll();
+}
+
+} // namespace
+
+TEST(Condition, PredicateLoopWakesOnNotify)
+{
+    Simulator sim;
+    Condition cond(sim);
+    bool flag = false;
+    Tick woke = -1;
+    sim.spawn(waiter(&cond, &flag, &woke, &sim));
+    sim.spawn(notifier(&cond, &flag));
+    sim.run();
+    EXPECT_EQ(woke, 50);
+}
+
+TEST(Condition, NotifyWithNoWaitersIsNoop)
+{
+    Simulator sim;
+    Condition cond(sim);
+    cond.notifyAll();
+    sim.run();
+    EXPECT_EQ(cond.numWaiters(), 0u);
+}
+
+namespace {
+
+Process
+producer(Mailbox<int> *mb)
+{
+    for (int i = 0; i < 5; ++i) {
+        co_await delay(10);
+        mb->send(i);
+    }
+}
+
+Process
+consumer(Mailbox<int> *mb, std::vector<int> *got)
+{
+    for (int i = 0; i < 5; ++i) {
+        int v = co_await mb->recv();
+        got->push_back(v);
+    }
+}
+
+} // namespace
+
+TEST(Mailbox, FifoDelivery)
+{
+    Simulator sim;
+    Mailbox<int> mb(sim);
+    std::vector<int> got;
+    sim.spawn(consumer(&mb, &got));
+    sim.spawn(producer(&mb));
+    sim.run();
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Mailbox, SendBeforeRecvIsQueued)
+{
+    Simulator sim;
+    Mailbox<int> mb(sim);
+    mb.send(41);
+    mb.send(42);
+    EXPECT_EQ(mb.size(), 2u);
+    std::vector<int> got;
+    sim.spawn(consumer(&mb, &got)); // wants 5 items
+    sim.spawn(producer(&mb));       // sends 5 more; consumer takes 5 total
+    sim.run();
+    ASSERT_GE(got.size(), 2u);
+    EXPECT_EQ(got[0], 41);
+    EXPECT_EQ(got[1], 42);
+}
+
+namespace {
+
+Process
+twoConsumers(Mailbox<int> *mb, std::vector<int> *got)
+{
+    int v = co_await mb->recv();
+    got->push_back(v);
+}
+
+} // namespace
+
+TEST(Mailbox, EachItemWakesExactlyOneReceiver)
+{
+    Simulator sim;
+    Mailbox<int> mb(sim);
+    std::vector<int> got;
+    sim.spawn(twoConsumers(&mb, &got));
+    sim.spawn(twoConsumers(&mb, &got));
+    sim.schedule(5, [&] { mb.send(1); });
+    sim.schedule(6, [&] { mb.send(2); });
+    sim.run();
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, TeardownReclaimsBlockedProcesses)
+{
+    // A process that waits forever must not leak when the simulator is
+    // destroyed (ASan would catch the leak).
+    auto sim = std::make_unique<Simulator>();
+    Condition cond(*sim);
+    bool flag = false;
+    Tick woke = -1;
+    sim->spawn(waiter(&cond, &flag, &woke, sim.get()));
+    sim->run();
+    EXPECT_EQ(sim->numLiveProcesses(), 1u);
+    sim.reset(); // must destroy the suspended frame
+    EXPECT_EQ(woke, -1);
+}
+
+TEST(Link, UncontendedTransferIsLatencyPlusSerialization)
+{
+    Simulator sim;
+    // 1 GB/s => 1 byte/ns; 1024B message = 1024ns serialization.
+    Link link(sim, 150, 1e9);
+    Tick arrival = link.transfer(1024);
+    EXPECT_EQ(arrival, 1024 + 150);
+    EXPECT_EQ(link.bytesTransferred(), 1024u);
+}
+
+TEST(Link, BackToBackTransfersSerialize)
+{
+    Simulator sim;
+    Link link(sim, 100, 1e9);
+    Tick a1 = link.transfer(1000);
+    Tick a2 = link.transfer(1000);
+    EXPECT_EQ(a1, 1100);
+    EXPECT_EQ(a2, 2100); // second waits for the first's serialization
+}
+
+TEST(Link, PerMessageOverheadIsCharged)
+{
+    Simulator sim;
+    Link link(sim, 0, 0.0, 300); // infinite BW, 300ns per message
+    EXPECT_EQ(link.transfer(1 << 20), 300);
+    EXPECT_EQ(link.transfer(64), 600);
+}
+
+TEST(Link, PreviewDoesNotOccupy)
+{
+    Simulator sim;
+    Link link(sim, 100, 1e9);
+    Tick preview = link.previewArrival(1000);
+    EXPECT_EQ(preview, 1100);
+    EXPECT_EQ(link.busyUntil(), 0);
+    EXPECT_EQ(link.transfer(1000), preview);
+}
+
+namespace {
+
+Process
+poolUser(CorePool *pool, Tick cost, std::vector<Tick> *done,
+         Simulator *simp)
+{
+    co_await pool->compute(cost);
+    done->push_back(simp->now());
+}
+
+} // namespace
+
+TEST(CorePool, LimitsConcurrency)
+{
+    Simulator sim;
+    CorePool pool(sim, 2);
+    std::vector<Tick> done;
+    for (int i = 0; i < 4; ++i)
+        sim.spawn(poolUser(&pool, 100, &done, &sim));
+    sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    std::sort(done.begin(), done.end());
+    // 2 cores, 4 jobs of 100: two finish at 100, two at 200.
+    EXPECT_EQ(done[0], 100);
+    EXPECT_EQ(done[1], 100);
+    EXPECT_EQ(done[2], 200);
+    EXPECT_EQ(done[3], 200);
+    EXPECT_EQ(pool.freeCores(), 2);
+}
+
+TEST(CorePool, SingleCoreSerializesFifo)
+{
+    Simulator sim;
+    CorePool pool(sim, 1);
+    std::vector<Tick> done;
+    for (int i = 0; i < 3; ++i)
+        sim.spawn(poolUser(&pool, 10, &done, &sim));
+    sim.run();
+    EXPECT_EQ(done, (std::vector<Tick>{10, 20, 30}));
+}
+
+namespace {
+
+Process
+wgWorker(WaitGroup *wg, Tick d)
+{
+    co_await delay(d);
+    wg->done();
+}
+
+Process
+wgJoiner(WaitGroup *wg, Tick *joined_at, Simulator *simp)
+{
+    co_await wg->wait();
+    *joined_at = simp->now();
+}
+
+} // namespace
+
+TEST(WaitGroup, JoinsAllWorkers)
+{
+    Simulator sim;
+    WaitGroup wg(sim);
+    Tick joined = -1;
+    wg.add(3);
+    sim.spawn(wgWorker(&wg, 10));
+    sim.spawn(wgWorker(&wg, 50));
+    sim.spawn(wgWorker(&wg, 30));
+    sim.spawn(wgJoiner(&wg, &joined, &sim));
+    sim.run();
+    EXPECT_EQ(joined, 50);
+    EXPECT_EQ(wg.count(), 0u);
+}

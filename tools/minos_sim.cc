@@ -1,0 +1,199 @@
+/**
+ * @file
+ * minos_sim — run one simulated MINOS experiment from the command line.
+ *
+ * Usage:
+ *   minos_sim [--engine=b|o] [--model=synch|strict|renf|event|scope]
+ *             [--nodes=N] [--records=N] [--requests=N] [--workers=N]
+ *             [--write-frac=F] [--dist=zipfian|uniform]
+ *             [--persist-ns=N] [--vfifo=N] [--dfifo=N]
+ *             [--no-batch] [--no-bcast] [--csv] [--seed=N]
+ *
+ * Prints a human-readable summary, or a CSV row with --csv (header via
+ * --csv-header) so sweeps can be scripted:
+ *
+ *   for n in 2 4 6 8 10; do ./minos_sim --nodes=$n --csv; done
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.hh"
+#include "common/logging.hh"
+#include "simproto/cluster_b.hh"
+#include "simproto/driver.hh"
+#include "snic/cluster_o.hh"
+
+using namespace minos;
+using namespace minos::simproto;
+
+namespace {
+
+PersistModel
+parseModel(const std::string &name)
+{
+    for (PersistModel m : allModels) {
+        std::string s(shortModelName(m));
+        for (auto &c : s)
+            c = static_cast<char>(std::tolower(c));
+        if (s == name)
+            return m;
+    }
+    MINOS_FATAL("unknown model '", name,
+                "' (expected synch|strict|renf|event|scope)");
+}
+
+const std::vector<std::string> knownFlags = {
+    "engine", "model", "nodes", "records", "requests", "workers",
+    "write-frac", "rmw-frac", "ycsb", "dist", "persist-ns", "vfifo", "dfifo", "no-batch",
+    "no-bcast", "csv", "csv-header", "seed", "scope-size", "stats",
+    "help",
+};
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [--engine=b|o] [--model=synch|strict|renf|event|"
+        "scope]\n"
+        "          [--nodes=N] [--records=N] [--requests=N] "
+        "[--workers=N]\n"
+        "          [--write-frac=F] [--dist=zipfian|uniform] "
+        "[--persist-ns=N]\n"
+        "          [--vfifo=N] [--dfifo=N] [--no-batch] [--no-bcast]\n"
+        "          [--scope-size=N] [--seed=N] [--csv] "
+        "[--csv-header]\n",
+        prog);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    if (flags.has("help")) {
+        usage(argv[0]);
+        return 0;
+    }
+    auto unknown = flags.unknownFlags(knownFlags);
+    if (!unknown.empty()) {
+        for (const auto &f : unknown)
+            std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+        usage(argv[0]);
+        return 2;
+    }
+
+    if (flags.getBool("csv-header")) {
+        std::printf("engine,model,nodes,records,requests,write_frac,"
+                    "dist,write_lat_ns,read_lat_ns,write_p99_ns,"
+                    "read_p99_ns,write_tput,read_tput,total_tput,"
+                    "obsolete,comm_frac\n");
+        if (argc == 2)
+            return 0;
+    }
+
+    const std::string engine = flags.getString("engine", "o");
+    MINOS_ASSERT(engine == "b" || engine == "o",
+                 "--engine must be b or o");
+    PersistModel model =
+        parseModel(flags.getString("model", "synch"));
+
+    ClusterConfig cfg;
+    cfg.numNodes = static_cast<int>(flags.getInt("nodes", 5));
+    cfg.numRecords =
+        static_cast<std::uint64_t>(flags.getInt("records", 100'000));
+    cfg.persistNsPerKb = flags.getInt("persist-ns", 1295);
+    cfg.vfifoEntries = static_cast<int>(flags.getInt("vfifo", 5));
+    cfg.dfifoEntries = static_cast<int>(flags.getInt("dfifo", 5));
+
+    OffloadOptions opts = engine == "o" ? OffloadOptions::minosO()
+                                        : OffloadOptions::minosB();
+    if (flags.getBool("no-batch"))
+        opts.batching = false;
+    if (flags.getBool("no-bcast"))
+        opts.broadcast = false;
+
+    DriverConfig dc;
+    dc.requestsPerNode =
+        static_cast<std::uint64_t>(flags.getInt("requests", 2000));
+    dc.workersPerNode = static_cast<int>(flags.getInt("workers", 0));
+    dc.scopeSize = static_cast<int>(flags.getInt("scope-size", 10));
+    if (flags.has("ycsb")) {
+        // Named YCSB core workload (A/B/C/F) overrides the mix flags.
+        dc.ycsb = workload::ycsbPreset(flags.getString("ycsb")[0]);
+    }
+    dc.ycsb.numRecords = cfg.numRecords;
+    dc.ycsb.writeFraction =
+        flags.getDouble("write-frac", dc.ycsb.writeFraction);
+    dc.ycsb.rmwFraction =
+        flags.getDouble("rmw-frac", dc.ycsb.rmwFraction);
+    dc.ycsb.seed =
+        static_cast<std::uint64_t>(flags.getInt("seed", 42));
+    const std::string dist = flags.getString("dist", "zipfian");
+    if (dist == "uniform")
+        dc.ycsb.dist = workload::KeyDist::Uniform;
+    else if (dist != "zipfian")
+        MINOS_FATAL("--dist must be zipfian or uniform");
+
+    sim::Simulator sim;
+    RunResult res;
+    NodeCounters aggregate;
+    if (engine == "o") {
+        snic::ClusterO cluster(sim, cfg, model, opts);
+        res = runWorkload(sim, cluster, dc);
+        for (int n = 0; n < cfg.numNodes; ++n)
+            aggregate += cluster.node(n).counters();
+    } else {
+        ClusterB cluster(sim, cfg, model, opts);
+        res = runWorkload(sim, cluster, dc);
+        for (int n = 0; n < cfg.numNodes; ++n)
+            aggregate += cluster.node(n).counters();
+    }
+
+    if (flags.getBool("csv")) {
+        std::printf(
+            "%s,%s,%d,%llu,%llu,%.2f,%s,%.0f,%.0f,%ld,%ld,%.0f,%.0f,"
+            "%.0f,%llu,%.3f\n",
+            engine.c_str(),
+            std::string(shortModelName(model)).c_str(), cfg.numNodes,
+            static_cast<unsigned long long>(cfg.numRecords),
+            static_cast<unsigned long long>(dc.requestsPerNode),
+            dc.ycsb.writeFraction, dist.c_str(), res.writeLat.mean(),
+            res.readLat.mean(), res.writeLat.p99(), res.readLat.p99(),
+            res.writeThroughput(), res.readThroughput(),
+            res.totalThroughput(),
+            static_cast<unsigned long long>(res.obsoleteWrites),
+            res.breakdown.commFraction());
+        return 0;
+    }
+
+    std::printf("MINOS-%s %s  %d nodes, %llu records, %llu req/node, "
+                "%.0f%% writes (%s keys)\n",
+                engine == "o" ? "O" : "B",
+                std::string(modelName(model)).c_str(), cfg.numNodes,
+                static_cast<unsigned long long>(cfg.numRecords),
+                static_cast<unsigned long long>(dc.requestsPerNode),
+                100.0 * dc.ycsb.writeFraction, dist.c_str());
+    std::printf("  write latency : mean %8.0f ns   p50 %8ld   p99 "
+                "%8ld\n",
+                res.writeLat.mean(), res.writeLat.p50(),
+                res.writeLat.p99());
+    std::printf("  read latency  : mean %8.0f ns   p50 %8ld   p99 "
+                "%8ld\n",
+                res.readLat.mean(), res.readLat.p50(),
+                res.readLat.p99());
+    std::printf("  throughput    : %.2f Mops/s (writes %.2f, reads "
+                "%.2f)\n",
+                res.totalThroughput() / 1e6,
+                res.writeThroughput() / 1e6,
+                res.readThroughput() / 1e6);
+    std::printf("  comm fraction : %.1f%%   obsolete writes: %llu\n",
+                100.0 * res.breakdown.commFraction(),
+                static_cast<unsigned long long>(res.obsoleteWrites));
+    if (flags.getBool("stats")) {
+        std::printf("cluster-aggregate protocol counters:\n%s",
+                    aggregate.str().c_str());
+    }
+    return 0;
+}
