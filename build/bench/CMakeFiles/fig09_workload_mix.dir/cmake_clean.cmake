@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_workload_mix.dir/fig09_workload_mix.cc.o"
+  "CMakeFiles/fig09_workload_mix.dir/fig09_workload_mix.cc.o.d"
+  "fig09_workload_mix"
+  "fig09_workload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

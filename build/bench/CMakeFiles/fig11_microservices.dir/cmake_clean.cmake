@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_microservices.dir/fig11_microservices.cc.o"
+  "CMakeFiles/fig11_microservices.dir/fig11_microservices.cc.o.d"
+  "fig11_microservices"
+  "fig11_microservices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_microservices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sensitivity.dir/fig14_sensitivity.cc.o"
+  "CMakeFiles/fig14_sensitivity.dir/fig14_sensitivity.cc.o.d"
+  "fig14_sensitivity"
+  "fig14_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

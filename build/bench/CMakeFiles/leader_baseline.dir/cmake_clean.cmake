@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_baseline.dir/leader_baseline.cc.o"
+  "CMakeFiles/leader_baseline.dir/leader_baseline.cc.o.d"
+  "leader_baseline"
+  "leader_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

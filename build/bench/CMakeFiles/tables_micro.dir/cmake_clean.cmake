@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_micro.dir/tables_micro.cc.o"
+  "CMakeFiles/tables_micro.dir/tables_micro.cc.o.d"
+  "tables_micro"
+  "tables_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_runtime.dir/threaded_runtime.cc.o"
+  "CMakeFiles/threaded_runtime.dir/threaded_runtime.cc.o.d"
+  "threaded_runtime"
+  "threaded_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_suite.dir/ycsb_suite.cc.o"
+  "CMakeFiles/ycsb_suite.dir/ycsb_suite.cc.o.d"
+  "ycsb_suite"
+  "ycsb_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_check.dir/model_check.cpp.o"
+  "CMakeFiles/model_check.dir/model_check.cpp.o.d"
+  "model_check"
+  "model_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

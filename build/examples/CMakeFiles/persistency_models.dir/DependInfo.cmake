@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/persistency_models.cpp" "examples/CMakeFiles/persistency_models.dir/persistency_models.cpp.o" "gcc" "examples/CMakeFiles/persistency_models.dir/persistency_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simproto/CMakeFiles/minos_simproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/snic/CMakeFiles/minos_snic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/minos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/minos_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/minos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/minos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/minos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/minos_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/minos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

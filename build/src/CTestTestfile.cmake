@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("kv")
+subdirs("nvm")
+subdirs("net")
+subdirs("stats")
+subdirs("workload")
+subdirs("simproto")
+subdirs("snic")
+subdirs("recovery")
+subdirs("runtime")
+subdirs("proto")
+subdirs("check")

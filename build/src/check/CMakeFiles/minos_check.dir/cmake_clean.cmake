@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_check.dir/checker.cc.o"
+  "CMakeFiles/minos_check.dir/checker.cc.o.d"
+  "CMakeFiles/minos_check.dir/linearizability.cc.o"
+  "CMakeFiles/minos_check.dir/linearizability.cc.o.d"
+  "libminos_check.a"
+  "libminos_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

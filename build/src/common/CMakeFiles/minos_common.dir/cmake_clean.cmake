@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_common.dir/flags.cc.o"
+  "CMakeFiles/minos_common.dir/flags.cc.o.d"
+  "CMakeFiles/minos_common.dir/logging.cc.o"
+  "CMakeFiles/minos_common.dir/logging.cc.o.d"
+  "CMakeFiles/minos_common.dir/random.cc.o"
+  "CMakeFiles/minos_common.dir/random.cc.o.d"
+  "libminos_common.a"
+  "libminos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_kv.dir/hashtable.cc.o"
+  "CMakeFiles/minos_kv.dir/hashtable.cc.o.d"
+  "libminos_kv.a"
+  "libminos_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

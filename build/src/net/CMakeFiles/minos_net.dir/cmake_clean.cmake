@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_net.dir/message.cc.o"
+  "CMakeFiles/minos_net.dir/message.cc.o.d"
+  "libminos_net.a"
+  "libminos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_nvm.dir/log.cc.o"
+  "CMakeFiles/minos_nvm.dir/log.cc.o.d"
+  "libminos_nvm.a"
+  "libminos_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

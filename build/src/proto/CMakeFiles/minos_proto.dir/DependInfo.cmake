@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/tnode.cc" "src/proto/CMakeFiles/minos_proto.dir/tnode.cc.o" "gcc" "src/proto/CMakeFiles/minos_proto.dir/tnode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/minos_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/minos_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/minos_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/minos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/minos_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/minos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_proto.dir/tnode.cc.o"
+  "CMakeFiles/minos_proto.dir/tnode.cc.o.d"
+  "libminos_proto.a"
+  "libminos_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

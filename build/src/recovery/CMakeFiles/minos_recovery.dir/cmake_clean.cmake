@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_recovery.dir/ctrl.cc.o"
+  "CMakeFiles/minos_recovery.dir/ctrl.cc.o.d"
+  "libminos_recovery.a"
+  "libminos_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

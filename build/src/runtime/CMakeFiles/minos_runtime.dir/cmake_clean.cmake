@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_runtime.dir/fabric.cc.o"
+  "CMakeFiles/minos_runtime.dir/fabric.cc.o.d"
+  "libminos_runtime.a"
+  "libminos_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

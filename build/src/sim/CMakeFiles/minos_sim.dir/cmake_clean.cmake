@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_sim.dir/network.cc.o"
+  "CMakeFiles/minos_sim.dir/network.cc.o.d"
+  "CMakeFiles/minos_sim.dir/simulator.cc.o"
+  "CMakeFiles/minos_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/minos_sim.dir/trace.cc.o"
+  "CMakeFiles/minos_sim.dir/trace.cc.o.d"
+  "libminos_sim.a"
+  "libminos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

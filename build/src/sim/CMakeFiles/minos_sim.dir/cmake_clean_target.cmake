@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libminos_sim.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_simproto.dir/cluster_b.cc.o"
+  "CMakeFiles/minos_simproto.dir/cluster_b.cc.o.d"
+  "CMakeFiles/minos_simproto.dir/cluster_leader.cc.o"
+  "CMakeFiles/minos_simproto.dir/cluster_leader.cc.o.d"
+  "CMakeFiles/minos_simproto.dir/counters.cc.o"
+  "CMakeFiles/minos_simproto.dir/counters.cc.o.d"
+  "CMakeFiles/minos_simproto.dir/driver.cc.o"
+  "CMakeFiles/minos_simproto.dir/driver.cc.o.d"
+  "CMakeFiles/minos_simproto.dir/node_b.cc.o"
+  "CMakeFiles/minos_simproto.dir/node_b.cc.o.d"
+  "libminos_simproto.a"
+  "libminos_simproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_simproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

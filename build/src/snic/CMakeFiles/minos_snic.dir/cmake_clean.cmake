@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_snic.dir/cluster_o.cc.o"
+  "CMakeFiles/minos_snic.dir/cluster_o.cc.o.d"
+  "CMakeFiles/minos_snic.dir/fifo.cc.o"
+  "CMakeFiles/minos_snic.dir/fifo.cc.o.d"
+  "CMakeFiles/minos_snic.dir/node_o.cc.o"
+  "CMakeFiles/minos_snic.dir/node_o.cc.o.d"
+  "libminos_snic.a"
+  "libminos_snic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_snic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

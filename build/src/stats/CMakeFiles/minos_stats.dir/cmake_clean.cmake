@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_stats.dir/stats.cc.o"
+  "CMakeFiles/minos_stats.dir/stats.cc.o.d"
+  "libminos_stats.a"
+  "libminos_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_workload.dir/deathstar.cc.o"
+  "CMakeFiles/minos_workload.dir/deathstar.cc.o.d"
+  "CMakeFiles/minos_workload.dir/ycsb.cc.o"
+  "CMakeFiles/minos_workload.dir/ycsb.cc.o.d"
+  "libminos_workload.a"
+  "libminos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifo_test.dir/fifo_test.cc.o"
+  "CMakeFiles/fifo_test.dir/fifo_test.cc.o.d"
+  "fifo_test"
+  "fifo_test.pdb"
+  "fifo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simproto_test.dir/simproto_test.cc.o"
+  "CMakeFiles/simproto_test.dir/simproto_test.cc.o.d"
+  "simproto_test"
+  "simproto_test.pdb"
+  "simproto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simproto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_test.dir/snic_test.cc.o"
+  "CMakeFiles/snic_test.dir/snic_test.cc.o.d"
+  "snic_test"
+  "snic_test.pdb"
+  "snic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_check_cli.dir/minos_check_tool.cc.o"
+  "CMakeFiles/minos_check_cli.dir/minos_check_tool.cc.o.d"
+  "minos-check"
+  "minos-check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_check_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for minos_check_cli.
+# This may be replaced when dependencies are built.

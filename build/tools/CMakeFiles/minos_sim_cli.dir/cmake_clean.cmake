@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_sim_cli.dir/minos_sim.cc.o"
+  "CMakeFiles/minos_sim_cli.dir/minos_sim.cc.o.d"
+  "minos-sim"
+  "minos-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
