@@ -55,19 +55,34 @@ class Condition
         void await_resume() const noexcept {}
     };
 
-    /** Suspend until the next notifyAll(). */
+    /** Suspend until the next notifyAll() / notifyOne(). */
     Awaiter wait() { return Awaiter{*this}; }
 
-    /** Resume every current waiter at the present tick. */
+    /**
+     * Resume every current waiter at the present tick, in wait (FIFO)
+     * order. Wakeups go through the simulator's ready ring: no closure,
+     * no allocation, no heap traffic.
+     */
     void
     notifyAll()
     {
+        for (auto h : waiters_)
+            sim_.resumeSoon(h);
+        waiters_.clear();
+    }
+
+    /**
+     * Resume only the oldest waiter (FIFO handoff). Use when one unit
+     * of capacity became available and waking the whole herd would just
+     * make the losers re-queue (e.g. CorePool::release()).
+     */
+    void
+    notifyOne()
+    {
         if (waiters_.empty())
             return;
-        std::vector<std::coroutine_handle<>> batch;
-        batch.swap(waiters_);
-        for (auto h : batch)
-            sim_.after(0, [h] { h.resume(); });
+        sim_.resumeSoon(waiters_.front());
+        waiters_.erase(waiters_.begin());
     }
 
     /** Number of processes currently blocked on this condition. */
@@ -136,8 +151,7 @@ class Mailbox
             RecvAwaiter *rx = receivers_.front();
             receivers_.pop_front();
             rx->slot.emplace(std::move(item));
-            auto h = rx->handle;
-            sim_.after(0, [h] { h.resume(); });
+            sim_.resumeSoon(rx->handle);
         } else {
             queue_.push_back(std::move(item));
         }

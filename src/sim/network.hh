@@ -121,13 +121,19 @@ class CorePool
         --free_;
     }
 
-    /** Return a core to the pool. */
+    /**
+     * Return a core to the pool. One freed core resumes exactly one
+     * waiter (the oldest — FIFO handoff); waking the whole herd for a
+     * single core would only make the losers re-queue at the same tick.
+     * A waiter that loses the core to a same-tick acquirer re-enters
+     * the wait loop, so the handoff is race-free.
+     */
     void
     release()
     {
         MINOS_ASSERT(free_ < total_, "CorePool release overflow");
         ++free_;
-        cond_.notifyAll();
+        cond_.notifyOne();
     }
 
     /** Acquire a core, spend @p cost ticks of compute, release. */

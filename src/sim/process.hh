@@ -268,8 +268,7 @@ struct DelayAwaiter
         static_assert(std::is_base_of_v<PromiseBase, P>);
         Simulator *sim = h.promise().sim;
         MINOS_ASSERT(sim, "coroutine not attached to a simulator");
-        std::coroutine_handle<> generic = h;
-        sim->after(ticks, [generic] { generic.resume(); });
+        sim->resumeAfter(ticks, h);
     }
 
     void await_resume() const noexcept {}

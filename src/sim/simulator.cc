@@ -18,49 +18,100 @@ Simulator::~Simulator()
 }
 
 void
-Simulator::schedule(Tick when, std::function<void()> fn)
+Simulator::ReadyRing::grow()
 {
-    MINOS_ASSERT(when >= now_, "scheduling into the past: ", when,
-                 " < ", now_);
-    queue_.push(Event{when, seq_++, std::move(fn)});
+    std::size_t cap = buf_.empty() ? 64 : buf_.size() * 2;
+    std::vector<ReadyEvent> next(cap);
+    std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i)
+        next[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(next);
+    head_ = 0;
+    tail_ = n;
+    mask_ = cap - 1;
 }
 
 void
-Simulator::after(Tick delay, std::function<void()> fn)
+Simulator::pushReady(EventFn fn)
+{
+    ring_.push(ReadyEvent{seq_++, std::move(fn)});
+    peakRing_ = std::max(peakRing_, ring_.size());
+}
+
+void
+Simulator::schedule(Tick when, EventFn fn)
+{
+    MINOS_ASSERT(when >= now_, "scheduling into the past: ", when,
+                 " < ", now_);
+    if (when == now_) {
+        // Same-tick events (the ubiquitous `after(0, ...)` wakeup) skip
+        // the heap; FIFO ring order is exactly their seq order.
+        pushReady(std::move(fn));
+        return;
+    }
+    heap_.push(Event{when, seq_++, std::move(fn)});
+    ++heapPushes_;
+    peakHeap_ = std::max(peakHeap_, heap_.size());
+}
+
+void
+Simulator::after(Tick delay, EventFn fn)
 {
     MINOS_ASSERT(delay >= 0, "negative delay: ", delay);
     schedule(now_ + delay, std::move(fn));
 }
 
 void
-Simulator::run()
+Simulator::step()
 {
-    while (!queue_.empty()) {
-        // priority_queue::top() is const; the event is copied out anyway
-        // because executing it may push new events.
-        Event ev = queue_.top();
-        queue_.pop();
+    // Ring entries are all due at now_; the heap may still hold events
+    // at now_ that were scheduled *earlier* (smaller seq) from a past
+    // tick. Comparing seqs preserves the exact (when, seq) dispatch
+    // order the pre-ring implementation had.
+    bool from_heap;
+    if (ring_.empty())
+        from_heap = true;
+    else if (heap_.empty())
+        from_heap = false;
+    else {
+        const Event &t = heap_.top();
+        from_heap = t.when == now_ && t.seq < ring_.front().seq;
+    }
+
+    if (from_heap) {
+        Event ev = heap_.popTop();
         now_ = ev.when;
         ++executed_;
         ev.fn();
+    } else {
+        ReadyEvent ev = ring_.pop();
+        ++executed_;
+        ++ringHits_;
+        ev.fn();
     }
+}
+
+void
+Simulator::run()
+{
+    while (!ring_.empty() || !heap_.empty())
+        step();
 }
 
 bool
 Simulator::runUntil(Tick limit)
 {
-    while (!queue_.empty()) {
-        if (queue_.top().when > limit) {
-            now_ = limit;
-            return false;
+    for (;;) {
+        if (ring_.empty()) {
+            if (heap_.empty())
+                return true;
+            if (heap_.top().when > limit) {
+                now_ = limit;
+                return false;
+            }
         }
-        Event ev = queue_.top();
-        queue_.pop();
-        now_ = ev.when;
-        ++executed_;
-        ev.fn();
+        step();
     }
-    return true;
 }
 
 void
@@ -70,7 +121,7 @@ Simulator::spawn(Process proc)
     MINOS_ASSERT(handle, "spawning an empty Process");
     handle.promise().sim = this;
     registerFrame(handle.address());
-    after(0, [handle] { handle.resume(); });
+    resumeSoon(handle);
 }
 
 } // namespace minos::sim

@@ -10,30 +10,44 @@
  *
  * This is the SimGrid-equivalent substrate used for all MINOS-B and
  * MINOS-O evaluation experiments (paper §VII).
+ *
+ * Event-core layout (see DESIGN.md "Event core"):
+ *  - events are EventFn (SBO callable / raw coroutine resume; event.hh),
+ *    so steady-state dispatch performs zero heap allocations;
+ *  - events scheduled for the *current* tick go to a FIFO ready ring
+ *    and bypass the heap entirely (the `after(0, ...)` wakeup pattern
+ *    used by every condition/mailbox notification);
+ *  - future events live in a 4-ary min-heap over a flat vector whose
+ *    pop *moves* the top element out (no pop-copy).
+ * Dispatch order is exactly (when, seq) — FIFO within a tick — which is
+ * the documented determinism contract; the ring is an ordering-exact
+ * bypass, not a reordering.
  */
 
 #ifndef MINOS_SIM_SIMULATOR_HH
 #define MINOS_SIM_SIMULATOR_HH
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
 #include "common/units.hh"
+#include "sim/event.hh"
+#include "stats/stats.hh"
 
 namespace minos::sim {
 
 class Process;
 
 /**
- * The discrete-event simulator: an event queue plus the registry of live
- * coroutine processes.
+ * The discrete-event simulator: a two-stage event queue (same-tick
+ * ready ring + timed 4-ary heap) plus the registry of live coroutine
+ * processes.
  *
- * Events scheduled for the same tick run in scheduling (FIFO) order, which
- * keeps runs fully deterministic.
+ * Events scheduled for the same tick run in scheduling (FIFO) order,
+ * which keeps runs fully deterministic.
  */
 class Simulator
 {
@@ -48,10 +62,33 @@ class Simulator
     Tick now() const { return now_; }
 
     /** Schedule @p fn to run at absolute time @p when (>= now). */
-    void schedule(Tick when, std::function<void()> fn);
+    void schedule(Tick when, EventFn fn);
 
     /** Schedule @p fn to run @p delay ticks from now. */
-    void after(Tick delay, std::function<void()> fn);
+    void after(Tick delay, EventFn fn);
+
+    /** @{
+     * Coroutine fast path: schedule a raw resume with no closure.
+     * resumeSoon() is the `after(0, ...)` wakeup — it goes straight to
+     * the ready ring.
+     */
+    void
+    scheduleResume(Tick when, std::coroutine_handle<> h)
+    {
+        schedule(when, EventFn::resume(h));
+    }
+
+    void
+    resumeAfter(Tick delay, std::coroutine_handle<> h)
+    {
+        after(delay, EventFn::resume(h));
+    }
+
+    void resumeSoon(std::coroutine_handle<> h)
+    {
+        pushReady(EventFn::resume(h));
+    }
+    /** @} */
 
     /** Run until the event queue is empty. */
     void run();
@@ -72,6 +109,32 @@ class Simulator
     /** Total events executed so far (for tests and sanity checks). */
     std::uint64_t eventsExecuted() const { return executed_; }
 
+    /** Events dispatched through the same-tick ready ring. */
+    std::uint64_t readyRingHits() const { return ringHits_; }
+
+    /** Events that went through the timed heap. */
+    std::uint64_t heapPushes() const { return heapPushes_; }
+
+    /** High-water marks of the two queues. */
+    std::size_t peakHeapSize() const { return peakHeap_; }
+    std::size_t peakRingSize() const { return peakRing_; }
+
+    /** Snapshot of the event-core counters (stats/stats.hh). */
+    stats::EventCoreCounters
+    counters() const
+    {
+        return {executed_, ringHits_, heapPushes_,
+                static_cast<std::uint64_t>(peakHeap_),
+                static_cast<std::uint64_t>(peakRing_)};
+    }
+
+    /** Events currently queued (ring + heap). */
+    std::size_t
+    pendingEvents() const
+    {
+        return ring_.size() + heap_.size();
+    }
+
     /** @{ Internal: live-process registry used by the coroutine glue. */
     void registerFrame(void *frame) { live_.insert(frame); }
     void unregisterFrame(void *frame) { live_.erase(frame); }
@@ -82,20 +145,156 @@ class Simulator
     {
         Tick when;
         std::uint64_t seq;
-        std::function<void()> fn;
-
-        bool
-        operator>(const Event &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+        EventFn fn;
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    /** Ring-ring entry: the tick is implicitly the current one. */
+    struct ReadyEvent
+    {
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    /**
+     * 4-ary min-heap over a flat vector, ordered by (when, seq).
+     * Shallower than a binary heap (fewer cache-missing levels) and
+     * pops by moving the top element out instead of copying it.
+     */
+    class TimerHeap
+    {
+      public:
+        bool empty() const { return v_.empty(); }
+        std::size_t size() const { return v_.size(); }
+        const Event &top() const { return v_.front(); }
+
+        void
+        push(Event &&e)
+        {
+            v_.push_back(std::move(e));
+            siftUp(v_.size() - 1);
+        }
+
+        /** Remove and return the minimum element (moved out). */
+        Event
+        popTop()
+        {
+            Event out = std::move(v_.front());
+            Event last = std::move(v_.back());
+            v_.pop_back();
+            if (!v_.empty())
+                siftDownHole(std::move(last));
+            return out;
+        }
+
+      private:
+        static constexpr std::size_t arity = 4;
+
+        static bool
+        before(const Event &a, const Event &b)
+        {
+            return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+        }
+
+        void
+        siftUp(std::size_t i)
+        {
+            Event e = std::move(v_[i]);
+            while (i > 0) {
+                std::size_t parent = (i - 1) / arity;
+                if (!before(e, v_[parent]))
+                    break;
+                v_[i] = std::move(v_[parent]);
+                i = parent;
+            }
+            v_[i] = std::move(e);
+        }
+
+        /** Sift the root hole down, then drop @p last into it. */
+        void
+        siftDownHole(Event &&last)
+        {
+            std::size_t i = 0;
+            const std::size_t n = v_.size();
+            for (;;) {
+                std::size_t first = arity * i + 1;
+                if (first >= n)
+                    break;
+                std::size_t best = first;
+                std::size_t end = std::min(first + arity, n);
+                for (std::size_t c = first + 1; c < end; ++c)
+                    if (before(v_[c], v_[best]))
+                        best = c;
+                if (!before(v_[best], last))
+                    break;
+                v_[i] = std::move(v_[best]);
+                i = best;
+            }
+            v_[i] = std::move(last);
+        }
+
+        std::vector<Event> v_;
+    };
+
+    /**
+     * Growable power-of-two ring buffer of same-tick events. FIFO; all
+     * entries are due at the current tick. Steady state never touches
+     * the allocator (it only grows).
+     */
+    class ReadyRing
+    {
+      public:
+        bool empty() const { return head_ == tail_; }
+
+        std::size_t
+        size() const
+        {
+            return static_cast<std::size_t>(tail_ - head_);
+        }
+
+        const ReadyEvent &
+        front() const
+        {
+            return buf_[head_ & mask_];
+        }
+
+        void
+        push(ReadyEvent &&e)
+        {
+            if (size() == buf_.size())
+                grow();
+            buf_[tail_++ & mask_] = std::move(e);
+        }
+
+        ReadyEvent
+        pop()
+        {
+            return std::move(buf_[head_++ & mask_]);
+        }
+
+      private:
+        void grow();
+
+        std::vector<ReadyEvent> buf_;
+        std::uint64_t head_ = 0;
+        std::uint64_t tail_ = 0;
+        std::uint64_t mask_ = 0;
+    };
+
+    void pushReady(EventFn fn);
+
+    /** Dispatch the single next event in (when, seq) order. */
+    void step();
+
+    TimerHeap heap_;
+    ReadyRing ring_;
     std::unordered_set<void *> live_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t ringHits_ = 0;
+    std::uint64_t heapPushes_ = 0;
+    std::size_t peakHeap_ = 0;
+    std::size_t peakRing_ = 0;
 };
 
 } // namespace minos::sim

@@ -353,6 +353,9 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
     co_await waitClientGate(*txn);
 
     // Post-gate per-model completion (Fig. 2 lines 20-22, Fig. 3 f).
+    // Retiring the txn erases its pending_ entry, so snapshot the timing
+    // fields needed for the comm/comp split before the erase.
+    PendingTxn done;
     switch (model_) {
       case PersistModel::Synch:
         raiseGlbVolatile(rec, ts);
@@ -360,6 +363,7 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
         releaseRdLockIfOwner(rec, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(MsgType::VAL, key, ts, scope);
+        done = *txn;
         pending_.erase(txnKey(key, ts));
         break;
 
@@ -375,6 +379,7 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
         raiseGlbDurable(rec, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(MsgType::VAL_P, key, ts, scope);
+        done = *txn;
         pending_.erase(txnKey(key, ts));
         break;
       }
@@ -383,6 +388,7 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
         // Return to the client after all ACK_Cs; the RDLock stays held
         // and VALs go out when all ACK_Ps have arrived (Fig. 3(iii)).
         raiseGlbVolatile(rec, ts);
+        done = *txn;
         sim_.spawn(renfTail(key, ts));
         break;
 
@@ -392,6 +398,7 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
         releaseRdLockIfOwner(rec, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(valCType(), key, ts, scope);
+        done = *txn;
         pending_.erase(txnKey(key, ts));
         break;
     }
@@ -399,11 +406,11 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
     st.latencyNs = sim_.now() - t0;
     // Communication/computation split (paper §IV): message in-flight
     // window minus the average follower handling time.
-    if (txn->handleCnt > 0 && txn->tGateAck > txn->tFirstSend) {
-        double handle_avg = static_cast<double>(txn->handleNsSum) /
-                            txn->handleCnt;
+    if (done.handleCnt > 0 && done.tGateAck > done.tFirstSend) {
+        double handle_avg = static_cast<double>(done.handleNsSum) /
+                            done.handleCnt;
         double comm =
-            static_cast<double>(txn->tGateAck - txn->tFirstSend) -
+            static_cast<double>(done.tGateAck - done.tFirstSend) -
             handle_avg;
         if (comm < 0)
             comm = 0;

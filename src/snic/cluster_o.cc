@@ -176,7 +176,7 @@ ClusterO::snicMulticast(NodeId src, Message tmpl, bool from_batched)
 
 void
 ClusterO::snicNotifyHost(NodeId src, std::uint32_t bytes,
-                         std::function<void()> deliver)
+                         sim::EventFn deliver)
 {
     auto &fab = *fabric_[static_cast<std::size_t>(src)];
     Tick arrival = fab.pcieUp.transferFrom(sim_.now(), bytes);

@@ -69,7 +69,7 @@ class ClusterO : public simproto::DdpCluster
 
     /** SNIC -> local host over PCIe; @p deliver runs at arrival. */
     void snicNotifyHost(kv::NodeId src, std::uint32_t bytes,
-                        std::function<void()> deliver);
+                        sim::EventFn deliver);
 
     /** The SNIC->host DMA queues used by the FIFO drain engines. */
     sim::Link &vfifoDma(kv::NodeId id);

@@ -173,6 +173,57 @@ Breakdown::commFraction() const
     return total > 0 ? commNs / total : 0.0;
 }
 
+std::uint64_t
+LatencySeries::digest() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(samples_.size());
+    for (Tick s : samples_)
+        mix(static_cast<std::uint64_t>(s));
+    return h;
+}
+
+double
+EventCoreCounters::ringHitRate() const
+{
+    if (eventsExecuted == 0)
+        return 0.0;
+    return static_cast<double>(readyRingHits) /
+           static_cast<double>(eventsExecuted);
+}
+
+std::string
+EventCoreCounters::str() const
+{
+    std::ostringstream os;
+    os << "events=" << eventsExecuted << " ringHits=" << readyRingHits
+       << " heapPushes=" << heapPushes << " peakHeap=" << peakHeapSize
+       << " peakRing=" << peakRingSize;
+    return os.str();
+}
+
+std::string
+EventCoreCounters::json() const
+{
+    std::ostringstream os;
+    os << "{\"events_executed\":" << eventsExecuted
+       << ",\"ready_ring_hits\":" << readyRingHits
+       << ",\"heap_pushes\":" << heapPushes
+       << ",\"peak_heap_size\":" << peakHeapSize
+       << ",\"peak_ring_size\":" << peakRingSize << "}";
+    return os.str();
+}
+
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {

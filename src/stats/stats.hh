@@ -43,6 +43,13 @@ class LatencySeries
     /** Merge another series into this one. */
     void merge(const LatencySeries &other);
 
+    /**
+     * Order-insensitive FNV-1a digest of the samples (sorts lazily,
+     * like percentile()). Two runs with identical sample multisets
+     * digest equal; used by determinism regression tests.
+     */
+    std::uint64_t digest() const;
+
     const std::vector<Tick> &samples() const { return samples_; }
 
   private:
@@ -117,6 +124,33 @@ struct Breakdown
 
     /** Fraction of total latency spent in communication, in [0,1]. */
     double commFraction() const;
+};
+
+/**
+ * Snapshot of the discrete-event simulator's event-core counters
+ * (sim::Simulator::counters()): how much traffic the same-tick ready
+ * ring absorbed vs. the timed heap, and the high-water marks of both.
+ * Lives here so measurement/reporting code (benches, tools) can render
+ * and serialize it uniformly.
+ */
+struct EventCoreCounters
+{
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t readyRingHits = 0;
+    std::uint64_t heapPushes = 0;
+    std::uint64_t peakHeapSize = 0;
+    std::uint64_t peakRingSize = 0;
+
+    /** Fraction of executed events that bypassed the heap, in [0,1]. */
+    double ringHitRate() const;
+
+    bool operator==(const EventCoreCounters &) const = default;
+
+    /** One-line human-readable rendering. */
+    std::string str() const;
+
+    /** JSON object (machine-readable, for bench output). */
+    std::string json() const;
 };
 
 /** Fixed-width console table writer used by the bench binaries. */

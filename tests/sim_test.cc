@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/condition.hh"
@@ -68,6 +71,127 @@ TEST(Simulator, RunUntilStopsAtLimit)
     EXPECT_EQ(sim.now(), 50);
     EXPECT_TRUE(sim.runUntil(200));
     EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SameTickEventsFromPastBeatLaterRingEvents)
+{
+    // Exact (when, seq) order: an event scheduled *earlier* for tick 5
+    // (sitting in the heap) must run before a same-tick event scheduled
+    // *during* tick 5 (sitting in the ready ring).
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(5, [&] {
+        order.push_back(0);
+        sim.after(0, [&] { order.push_back(2); }); // ring, seq 2
+    });
+    sim.schedule(5, [&] { order.push_back(1); }); // heap, seq 1
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, CountersTrackRingAndHeapTraffic)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(0, [&] { ++fired; });  // now == 0: ready ring
+    sim.schedule(10, [&] { ++fired; }); // future: heap
+    sim.schedule(10, [&] {              // future: heap
+        sim.after(0, [&] { ++fired; }); // same-tick wakeup: ring
+    });
+    sim.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(sim.eventsExecuted(), 4u);
+    EXPECT_EQ(sim.readyRingHits(), 2u);
+    EXPECT_EQ(sim.heapPushes(), 2u);
+    EXPECT_EQ(sim.peakHeapSize(), 2u);
+    EXPECT_GE(sim.peakRingSize(), 1u);
+
+    stats::EventCoreCounters c = sim.counters();
+    EXPECT_EQ(c.eventsExecuted, 4u);
+    EXPECT_EQ(c.readyRingHits, 2u);
+    EXPECT_EQ(c.heapPushes, 2u);
+    EXPECT_DOUBLE_EQ(c.ringHitRate(), 0.5);
+    EXPECT_EQ(c, sim.counters());
+}
+
+TEST(Simulator, OversizedClosuresStillWork)
+{
+    // Closures beyond EventFn's inline buffer take the heap fallback.
+    Simulator sim;
+    std::array<std::uint64_t, 64> big{};
+    big[0] = 7;
+    big[63] = 35;
+    std::uint64_t got = 0;
+    static_assert(sizeof(big) > EventFn::inlineBytes);
+    sim.schedule(3, [&got, big] { got = big[0] + big[63]; });
+    sim.run();
+    EXPECT_EQ(got, 42u);
+}
+
+TEST(Simulator, PendingEventsAreDestroyedAtTeardown)
+{
+    // Undispatched closures (ring and heap) must release their captures
+    // when the simulator dies mid-run.
+    auto owner = std::make_shared<int>(1);
+    EXPECT_EQ(owner.use_count(), 1);
+    {
+        Simulator sim;
+        sim.schedule(0, [keep = owner] {});
+        sim.schedule(50, [keep = owner] {});
+        EXPECT_EQ(owner.use_count(), 3);
+        EXPECT_EQ(sim.pendingEvents(), 2u);
+    }
+    EXPECT_EQ(owner.use_count(), 1);
+}
+
+TEST(Simulator, DeterministicStormIsBitIdentical)
+{
+    // Guard against ready-ring/heap ordering drift: a pseudorandom
+    // event storm (self-rescheduling chains mixing 0-delay wakeups and
+    // timed events) must replay bit-identically.
+    auto storm = [](std::uint64_t seed, std::vector<Tick> *trace,
+                    std::uint64_t *executed) {
+        Simulator sim;
+        std::uint64_t budget = 5000;
+        struct Chain
+        {
+            Simulator *sim;
+            std::uint64_t *budget;
+            std::vector<Tick> *trace;
+            std::uint32_t rng;
+            int id;
+
+            void
+            operator()()
+            {
+                trace->push_back(sim->now() * 64 + id);
+                if (*budget == 0)
+                    return;
+                --*budget;
+                rng = rng * 1664525u + 1013904223u;
+                Tick d = (rng >> 8) % 4 == 0 ? (rng >> 8) % 97 : 0;
+                sim->after(d, *this);
+            }
+        };
+        for (int i = 0; i < 8; ++i)
+            sim.after(static_cast<Tick>(i % 3),
+                      Chain{&sim, &budget, trace,
+                            static_cast<std::uint32_t>(seed + i), i});
+        sim.run();
+        *executed = sim.eventsExecuted();
+    };
+
+    std::vector<Tick> t1, t2;
+    std::uint64_t e1 = 0, e2 = 0;
+    storm(12345, &t1, &e1);
+    storm(12345, &t2, &e2);
+    EXPECT_EQ(e1, e2);
+    EXPECT_EQ(t1, t2);
+
+    std::vector<Tick> t3;
+    std::uint64_t e3 = 0;
+    storm(999, &t3, &e3);
+    EXPECT_NE(t1, t3); // the seed actually matters
 }
 
 namespace {
@@ -188,7 +312,41 @@ TEST(Condition, NotifyWithNoWaitersIsNoop)
     Simulator sim;
     Condition cond(sim);
     cond.notifyAll();
+    cond.notifyOne();
     sim.run();
+    EXPECT_EQ(cond.numWaiters(), 0u);
+}
+
+namespace {
+
+Process
+orderedWaiter(Condition *cond, int id, std::vector<int> *woke)
+{
+    co_await cond->wait();
+    woke->push_back(id);
+}
+
+} // namespace
+
+TEST(Condition, NotifyOneWakesOldestWaiterOnly)
+{
+    Simulator sim;
+    Condition cond(sim);
+    std::vector<int> woke;
+    for (int i = 0; i < 3; ++i)
+        sim.spawn(orderedWaiter(&cond, i, &woke));
+    sim.runUntil(0);
+    ASSERT_EQ(cond.numWaiters(), 3u);
+
+    cond.notifyOne();
+    sim.runUntil(1);
+    EXPECT_EQ(woke, (std::vector<int>{0})); // FIFO: oldest first
+    EXPECT_EQ(cond.numWaiters(), 2u);
+
+    cond.notifyOne();
+    cond.notifyOne();
+    sim.run();
+    EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
     EXPECT_EQ(cond.numWaiters(), 0u);
 }
 
@@ -358,6 +516,36 @@ TEST(CorePool, SingleCoreSerializesFifo)
         sim.spawn(poolUser(&pool, 10, &done, &sim));
     sim.run();
     EXPECT_EQ(done, (std::vector<Tick>{10, 20, 30}));
+}
+
+namespace {
+
+Process
+tagUser(CorePool *pool, int id, std::vector<int> *order)
+{
+    co_await pool->acquire();
+    order->push_back(id);
+    co_await delay(10);
+    pool->release();
+}
+
+} // namespace
+
+TEST(CorePool, ReleaseHandsOffFifoWithoutHerd)
+{
+    // One freed core resumes exactly one waiter: waiters acquire in
+    // arrival order, and each release produces a single wakeup event
+    // instead of waking the whole herd.
+    Simulator sim;
+    CorePool pool(sim, 1);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        sim.spawn(tagUser(&pool, i, &order));
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    // 7 releases with a waiter present -> exactly 7 handoff wakeups;
+    // with notifyAll it would have been 7+6+...+1 = 28.
+    EXPECT_EQ(pool.freeCores(), 1);
 }
 
 namespace {
