@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 #include "simproto/cluster_b.hh"
 #include "simproto/driver.hh"
 #include "snic/cluster_o.hh"
@@ -103,6 +104,46 @@ printBanner(const char *figure, const char *what)
     std::printf("\n=== %s: %s ===\n", figure, what);
     std::printf("(simulated machine, Tables II/III parameters; "
                 "shape-level reproduction)\n\n");
+}
+
+/**
+ * The bench process's metrics registry: every experiment point records
+ * its results here (recordRunMetrics), and the bench prints the whole
+ * blob once at exit (printMetricsBlob) so trajectory tooling gets one
+ * uniform machine-readable line per bench.
+ */
+inline obs::MetricsRegistry &
+metricsRegistry()
+{
+    static obs::MetricsRegistry reg;
+    return reg;
+}
+
+/** Record one workload run's metrics under "<point>." . */
+inline void
+recordRunMetrics(const std::string &point,
+                 const simproto::RunResult &res)
+{
+    simproto::registerRunMetrics(metricsRegistry(), point + ".", res);
+}
+
+/** Record one microservice run's metrics under "<point>." . */
+inline void
+recordMicroMetrics(const std::string &point,
+                   const simproto::MicroserviceResult &res)
+{
+    auto &reg = metricsRegistry();
+    if (!res.e2eLat.empty())
+        reg.histogram(point + ".e2e_lat_ns", res.e2eLat);
+    obs::registerEventCore(reg, point + ".sim.", res.eventCore);
+}
+
+/** Print the accumulated metrics blob (one line, grep-able). */
+inline void
+printMetricsBlob(const char *bench)
+{
+    std::printf("\nMINOS_METRICS %s %s\n", bench,
+                metricsRegistry().json().c_str());
 }
 
 } // namespace minos::bench

@@ -36,6 +36,9 @@ runPoint(benchmark::State &state, PersistModel model)
         state.counters["comm_ns"] = res.breakdown.meanComm();
         state.counters["comp_ns"] = res.breakdown.meanComp();
         state.counters["comm_frac"] = res.breakdown.commFraction();
+        recordRunMetrics(std::string("fig04.") +
+                             std::string(shortModelName(model)),
+                         res);
         rows.push_back(Fig4Row{model, res.breakdown.meanComm() / 1e3,
                                res.breakdown.meanComp() / 1e3});
     }
@@ -75,5 +78,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    printMetricsBlob("fig04");
     return 0;
 }

@@ -36,6 +36,11 @@ runPoint(benchmark::State &state, PersistModel model, bool offload,
         DriverConfig dc = paperDriver(cfg, write_pct / 100.0);
         RunResult res =
             offload ? runO(cfg, model, dc) : runB(cfg, model, dc);
+        recordRunMetrics(std::string("fig09.") +
+                             std::string(shortModelName(model)) +
+                             (offload ? ".o.w" : ".b.w") +
+                             std::to_string(write_pct),
+                         res);
         Point p;
         p.model = model;
         p.offload = offload;
@@ -164,5 +169,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    printMetricsBlob("fig09");
     return 0;
 }

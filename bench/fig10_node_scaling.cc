@@ -40,6 +40,11 @@ runPoint(benchmark::State &state, PersistModel model, bool offload,
         dc.requestsPerNode = benchRequestsPerNode(600);
         RunResult res =
             offload ? runO(cfg, model, dc) : runB(cfg, model, dc);
+        recordRunMetrics(std::string("fig10.") +
+                             std::string(shortModelName(model)) +
+                             (offload ? ".o.n" : ".b.n") +
+                             std::to_string(nodes),
+                         res);
         points.push_back(Point{model, offload, nodes,
                                res.writeLat.mean(), res.readLat.mean(),
                                res.writeThroughput(),
@@ -148,5 +153,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    printMetricsBlob("fig10");
     return 0;
 }

@@ -47,6 +47,10 @@ runPoint(benchmark::State &state, PersistModel model, bool offload,
             ClusterB cluster(sim, cfg, model);
             return runMicroservice(sim, cluster, spec, mc);
         }();
+        recordMicroMetrics(std::string("fig11.") +
+                               std::string(shortModelName(model)) +
+                               (offload ? ".o." : ".b.") + spec.app,
+                           res);
         points.push_back(
             Point{model, offload, spec.app, res.e2eLat.mean()});
         state.counters["e2e_us"] = res.e2eLat.mean() / 1e3;
@@ -120,5 +124,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    printMetricsBlob("fig11");
     return 0;
 }

@@ -55,6 +55,8 @@ runPoint(benchmark::State &state, std::size_t idx)
         RunResult res = c.offload
                             ? runO(cfg, PersistModel::Synch, dc, opts)
                             : runB(cfg, PersistModel::Synch, dc, opts);
+        recordRunMetrics(std::string("fig12.cfg") + std::to_string(idx),
+                         res);
         latencies[idx] = res.writeLat.mean();
         state.counters["write_lat_ns"] = res.writeLat.mean();
     }
@@ -97,5 +99,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    printMetricsBlob("fig12");
     return 0;
 }

@@ -31,6 +31,11 @@ runPoint(benchmark::State &state, std::size_t idx)
         cfg.dfifoEntries = sizes[idx];
         DriverConfig dc = paperDriver(cfg);
         RunResult res = runO(cfg, PersistModel::Synch, dc);
+        recordRunMetrics(std::string("fig13.entries") +
+                             (sizes[idx] == 0
+                                  ? std::string("_unlimited")
+                                  : std::to_string(sizes[idx])),
+                         res);
         latencies[idx] = res.writeLat.mean();
         state.counters["write_lat_ns"] = res.writeLat.mean();
     }
@@ -72,5 +77,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    printMetricsBlob("fig13");
     return 0;
 }

@@ -28,10 +28,13 @@ struct Point
 std::vector<Point> points;
 
 double
-speedupFor(const ClusterConfig &cfg, const DriverConfig &dc)
+speedupFor(const ClusterConfig &cfg, const DriverConfig &dc,
+           const std::string &point)
 {
     RunResult rb = runB(cfg, PersistModel::Synch, dc);
     RunResult ro = runO(cfg, PersistModel::Synch, dc);
+    recordRunMetrics("fig14." + point + ".b", rb);
+    recordRunMetrics("fig14." + point + ".o", ro);
     return rb.writeLat.mean() / ro.writeLat.mean();
 }
 
@@ -45,7 +48,8 @@ persistPoint(benchmark::State &state, Tick ns_per_kb)
         // offload benefit grows with slower host durable media.
         cfg.persistNsPerKb = ns_per_kb;
         DriverConfig dc = paperDriver(cfg);
-        double s = speedupFor(cfg, dc);
+        double s = speedupFor(cfg, dc,
+                              "persist" + std::to_string(ns_per_kb));
         points.push_back({"persist latency",
                           std::to_string(ns_per_kb) + " ns/KB", s});
         state.counters["speedup"] = s;
@@ -59,7 +63,10 @@ distPoint(benchmark::State &state, workload::KeyDist dist)
         ClusterConfig cfg = paperConfig();
         DriverConfig dc = paperDriver(cfg);
         dc.ycsb.dist = dist;
-        double s = speedupFor(cfg, dc);
+        double s = speedupFor(cfg, dc,
+                              dist == workload::KeyDist::Zipfian
+                                  ? "zipfian"
+                                  : "uniform");
         points.push_back(
             {"key distribution",
              dist == workload::KeyDist::Zipfian ? "zipfian" : "uniform",
@@ -76,7 +83,7 @@ dbSizePoint(benchmark::State &state, std::uint64_t records)
         cfg.numRecords = records;
         DriverConfig dc = paperDriver(cfg);
         dc.ycsb.numRecords = records;
-        double s = speedupFor(cfg, dc);
+        double s = speedupFor(cfg, dc, "db" + std::to_string(records));
         points.push_back(
             {"database size", std::to_string(records) + " records", s});
         state.counters["speedup"] = s;
@@ -131,5 +138,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    printMetricsBlob("fig14");
     return 0;
 }

@@ -48,6 +48,10 @@ runPoint(benchmark::State &state, bool leaderless, int nodes)
             ClusterLeader cluster(sim, cfg, PersistModel::Synch);
             res = runWorkload(sim, cluster, dc);
         }
+        recordRunMetrics(std::string("leader.") +
+                             (leaderless ? "leaderless.n" : "leader.n") +
+                             std::to_string(nodes),
+                         res);
         points.push_back(Point{leaderless, nodes, res.writeLat.mean(),
                                res.writeThroughput()});
         state.counters["write_lat_ns"] = res.writeLat.mean();
@@ -120,5 +124,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    printMetricsBlob("leader");
     return 0;
 }

@@ -119,6 +119,10 @@ simulatorEvents(benchmark::State &state)
             sim.after(i, [] {});
         sim.run();
         benchmark::DoNotOptimize(sim.eventsExecuted());
+        // The run is deterministic, so the last iteration's counters
+        // stand for all of them in the metrics blob.
+        obs::registerEventCore(metricsRegistry(), "micro.sim.",
+                               sim.counters());
     }
     state.SetItemsProcessed(state.iterations() * 10'000);
 }
@@ -141,5 +145,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printParameterTables();
+    printMetricsBlob("tables");
     return 0;
 }

@@ -41,6 +41,9 @@ runPoint(benchmark::State &state, char wl, bool offload)
         RunResult res = offload
                             ? runO(cfg, PersistModel::Synch, dc)
                             : runB(cfg, PersistModel::Synch, dc);
+        recordRunMetrics(std::string("ycsb.") + std::string(1, wl) +
+                             (offload ? ".o" : ".b"),
+                         res);
         points.push_back(Point{wl, offload, res.writeLat.mean(),
                                res.readLat.mean(),
                                res.totalThroughput()});
@@ -103,5 +106,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    printMetricsBlob("ycsb");
     return 0;
 }

@@ -1,0 +1,91 @@
+#include "obs/chrome_trace.hh"
+
+#include <set>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
+
+namespace minos::obs {
+
+namespace {
+
+/** Track id for a record's node; node -1 events get their own track. */
+constexpr std::int32_t kGlobalTrack = 9999;
+
+std::int32_t
+trackOf(const Record &rec)
+{
+    return rec.node < 0 ? kGlobalTrack : rec.node;
+}
+
+void
+emitCommon(std::ostringstream &os, const Record &rec)
+{
+    // Chrome trace timestamps are microseconds; ticks are nanoseconds.
+    os << "\"cat\":\"" << categoryName(rec.category) << "\",\"ts\":"
+       << jsonNumber(static_cast<double>(rec.when) / 1e3)
+       << ",\"pid\":" << trackOf(rec) << ",\"tid\":0";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<Record> &records)
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+
+    // Metadata events naming one track per node present in the trace.
+    std::set<std::int32_t> tracks;
+    for (const Record &rec : records)
+        tracks.insert(trackOf(rec));
+    bool first = true;
+    for (std::int32_t t : tracks) {
+        os << (first ? "" : ",")
+           << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << t
+           << ",\"tid\":0,\"args\":{\"name\":\"";
+        if (t == kGlobalTrack)
+            os << "global";
+        else
+            os << "node " << t;
+        os << "\"}}";
+        first = false;
+    }
+
+    for (const Record &rec : records) {
+        os << (first ? "" : ",") << "{";
+        first = false;
+        switch (rec.kind) {
+          case EventKind::SpanBegin:
+          case EventKind::SpanEnd:
+            // Async events: the txn token as id keeps overlapping
+            // spans of concurrent transactions apart.
+            os << "\"name\":\""
+               << phaseName(static_cast<Phase>(rec.a0)) << "\",\"ph\":\""
+               << (rec.kind == EventKind::SpanBegin ? 'b' : 'e')
+               << "\",\"id\":" << rec.a1 << ",";
+            emitCommon(os, rec);
+            break;
+          default:
+            os << "\"name\":\"" << jsonEscape(eventKindName(rec.kind))
+               << "\",\"ph\":\"i\",\"s\":\"t\",";
+            emitCommon(os, rec);
+            os << ",\"args\":{\"a0\":" << rec.a0 << ",\"a1\":" << rec.a1
+               << "}";
+            break;
+        }
+        os << "}";
+    }
+
+    os << "]}";
+    return os.str();
+}
+
+std::string
+chromeTraceJson(const FlightRecorder &rec)
+{
+    return chromeTraceJson(rec.sortedSnapshot());
+}
+
+} // namespace minos::obs

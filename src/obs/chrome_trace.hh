@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter for the flight recorder.
+ *
+ * Renders a snapshot of the ring as a JSON object loadable in Perfetto
+ * or chrome://tracing: one track (pid) per node, instant events for
+ * protocol/message/lock/FIFO records, and async begin/end pairs for
+ * phase spans (async, not B/E, because concurrent transactions on one
+ * node overlap and would break synchronous nesting). Timestamps are
+ * simulated nanoseconds converted to the format's microseconds, so the
+ * timeline reads in simulated time.
+ */
+
+#ifndef MINOS_OBS_CHROME_TRACE_HH
+#define MINOS_OBS_CHROME_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hh"
+
+namespace minos::obs {
+
+/** Render tick-ordered @p records as Chrome trace-event JSON. */
+std::string chromeTraceJson(const std::vector<Record> &records);
+
+/** Convenience: export the recorder's tick-ordered snapshot. */
+std::string chromeTraceJson(const FlightRecorder &rec);
+
+} // namespace minos::obs
+
+#endif // MINOS_OBS_CHROME_TRACE_HH

@@ -1,0 +1,67 @@
+#include "obs/phase.hh"
+
+#include "obs/metrics.hh"
+
+namespace minos::obs {
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::LockWait:
+        return "lock-wait";
+      case Phase::InvFanout:
+        return "inv-fanout";
+      case Phase::Persist:
+        return "persist";
+      case Phase::AckGather:
+        return "ack-gather";
+      case Phase::Val:
+        return "val";
+    }
+    return "?";
+}
+
+bool
+WritePhaseStats::empty() const
+{
+    for (const auto &s : series_)
+        if (!s.empty())
+            return false;
+    return true;
+}
+
+std::string
+WritePhaseStats::table() const
+{
+    stats::Table t({"phase", "count", "mean us", "p50 us", "p99 us",
+                    "max us"});
+    for (int i = 0; i < numPhases; ++i) {
+        const auto &s = series_[i];
+        if (s.empty())
+            continue;
+        t.addRow({phaseName(static_cast<Phase>(i)),
+                  std::to_string(s.count()),
+                  stats::Table::fmt(s.mean() / 1e3),
+                  stats::Table::fmt(s.p50() / 1e3),
+                  stats::Table::fmt(s.p99() / 1e3),
+                  stats::Table::fmt(s.max() / 1e3)});
+    }
+    return t.str();
+}
+
+void
+WritePhaseStats::registerInto(MetricsRegistry &reg,
+                              const std::string &prefix) const
+{
+    for (int i = 0; i < numPhases; ++i) {
+        const auto &s = series_[i];
+        if (s.empty())
+            continue;
+        reg.histogram(prefix + "phase." +
+                          phaseName(static_cast<Phase>(i)) + ".ns",
+                      s);
+    }
+}
+
+} // namespace minos::obs

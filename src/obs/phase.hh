@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-transaction phase taxonomy of the write critical path, and the
+ * aggregation container that generalizes the Fig. 4 two-bucket
+ * communication/computation split to the full phase vector.
+ *
+ * Phases (both engines; see DESIGN.md "Observability layer" for the
+ * exact B vs. O boundaries):
+ *  - lock-wait:  RDLock snatch (+ WRLock grab on MINOS-B);
+ *  - inv-fanout: tx-path software cost until the INVs leave the host
+ *                send queue;
+ *  - persist:    one durable append (host NVM on B, dFIFO enqueue on
+ *                O), recorded wherever it runs — critical path or
+ *                background;
+ *  - ack-gather: first INV send to the arrival of the gating ACK set;
+ *  - val:        post-gate completion work on the client path (glb
+ *                raises, VAL fan-out, PCIe bookkeeping on O).
+ *
+ * Span recording piggybacks on simulated timestamps the engines already
+ * take (sim.now() at existing await boundaries), so attaching phase
+ * stats or a recorder never changes simulated time.
+ */
+
+#ifndef MINOS_OBS_PHASE_HH
+#define MINOS_OBS_PHASE_HH
+
+#include <array>
+#include <string>
+
+#include "common/units.hh"
+#include "obs/recorder.hh"
+#include "stats/stats.hh"
+
+namespace minos::obs {
+
+class MetricsRegistry;
+
+/** A named slice of the write critical path. */
+enum class Phase : std::uint8_t
+{
+    LockWait,
+    InvFanout,
+    Persist,
+    AckGather,
+    Val,
+};
+
+inline constexpr int numPhases = 5;
+
+/** Stable lowercase name ("lock-wait", "inv-fanout", ...). */
+const char *phaseName(Phase p);
+
+/** Per-phase latency series aggregated over a run. */
+class WritePhaseStats
+{
+  public:
+    void
+    add(Phase p, Tick duration)
+    {
+        series_[static_cast<std::size_t>(p)].add(duration);
+    }
+
+    const stats::LatencySeries &
+    series(Phase p) const
+    {
+        return series_[static_cast<std::size_t>(p)];
+    }
+
+    /** True when no span has been recorded yet. */
+    bool empty() const;
+
+    /** Fixed-width per-phase latency table (count/mean/p50/p99). */
+    std::string table() const;
+
+    /** Register one histogram per non-empty phase under @p prefix. */
+    void registerInto(MetricsRegistry &reg,
+                      const std::string &prefix) const;
+
+  private:
+    std::array<stats::LatencySeries, numPhases> series_;
+};
+
+/**
+ * Record one completed phase span: aggregate the duration into
+ * @p phases (when attached) and lay SpanBegin/SpanEnd records into
+ * @p rec (when attached and the Phase category is enabled). Either
+ * pointer may be null; both timestamps are simulated times the caller
+ * already holds, so this never advances the simulation.
+ */
+inline void
+recordSpan(FlightRecorder *rec, WritePhaseStats *phases, Phase p,
+           Tick t0, Tick t1, std::int32_t node, std::int64_t txn)
+{
+    if (phases)
+        phases->add(p, t1 - t0);
+    if (rec) {
+        rec->record(t0, Category::Phase, EventKind::SpanBegin, node,
+                    static_cast<std::int64_t>(p), txn);
+        rec->record(t1, Category::Phase, EventKind::SpanEnd, node,
+                    static_cast<std::int64_t>(p), txn);
+    }
+}
+
+} // namespace minos::obs
+
+#endif // MINOS_OBS_PHASE_HH

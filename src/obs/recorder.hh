@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Structured flight recorder: a fixed-capacity ring of typed, binary
+ * protocol-event records.
+ *
+ * Replaces the old string-per-event sim::TraceLog. Every record is a
+ * small POD (tick, category, node, event kind, two integer arguments),
+ * so the record path never touches the allocator and never formats
+ * text. Rendering happens only at export time: the same ring serves
+ * the chronological text dump (str()) and the Chrome trace-event JSON
+ * exporter (chrome_trace.hh).
+ *
+ * Enablement contract (see docs/observability.md): record() checks the
+ * category's enabled bit before touching the ring, and the arguments
+ * are plain integers, so a disabled category costs one load + branch —
+ * no formatting, no allocation. Detached (the engines' default), the
+ * record path is a null-pointer check at the call site.
+ */
+
+#ifndef MINOS_OBS_RECORDER_HH
+#define MINOS_OBS_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace minos::obs {
+
+/** Event categories, individually toggleable. */
+enum class Category : std::uint8_t
+{
+    Protocol, ///< coordinator/follower algorithm steps
+    Message,  ///< sends and receipts
+    Lock,     ///< RDLock/WRLock transitions
+    Fifo,     ///< vFIFO/dFIFO activity and occupancy samples
+    Recovery, ///< membership and log shipping
+    Phase,    ///< per-transaction phase spans (begin/end)
+};
+
+inline constexpr int numCategories = 6;
+
+/** Human-readable category name. */
+const char *categoryName(Category cat);
+
+/**
+ * What happened. The two integer arguments (a0, a1) are interpreted
+ * per kind; see renderRecord() for the exact meanings.
+ */
+enum class EventKind : std::uint8_t
+{
+    InvFanout,        ///< coordinator sent INVs; a0=key, a1=packed TS_WR
+    InvApplied,       ///< follower applied an INV; a0=key, a1=packed TS_WR
+    InvObsolete,      ///< INV cut short as obsolete; a0=key, a1=packed TS_WR
+    RdLockReleased,   ///< RDLock released; a0=key, a1=packed owner TS
+    SnicBroadcastInv, ///< coordinator SNIC broadcast; a0=key, a1=packed TS_WR
+    FollowerEnqueued, ///< follower SNIC vFIFO enqueue; a0=key, a1=entry id
+    VfifoSkipped,     ///< drain skipped obsolete entry; a0=entry id, a1=packed TS
+    FifoDepth,        ///< occupancy sample; a0=0 (vFIFO) / 1 (dFIFO), a1=depth
+    SpanBegin,        ///< phase span begins; a0=phase, a1=txn token
+    SpanEnd,          ///< phase span ends; a0=phase, a1=txn token
+};
+
+/** Human-readable event-kind name (also the Chrome trace event name). */
+const char *eventKindName(EventKind kind);
+
+/** One recorded event: 32 bytes, trivially copyable, no heap. */
+struct Record
+{
+    Tick when = 0;
+    std::int64_t a0 = 0;
+    std::int64_t a1 = 0;
+    std::int32_t node = -1;
+    Category category = Category::Protocol;
+    EventKind kind = EventKind::InvFanout;
+};
+
+/** Render one record as text ("INV fan-out key=7 ts=3.1" style). */
+std::string renderRecord(const Record &rec);
+
+/** Fixed-capacity ring of typed records; oldest are overwritten. */
+class FlightRecorder
+{
+  public:
+    /** @param capacity ring size (clamped to >= 1). */
+    explicit FlightRecorder(std::size_t capacity = 1 << 15);
+
+    /** Enable/disable one category (all enabled by default). */
+    void setEnabled(Category cat, bool enabled);
+
+    bool
+    enabled(Category cat) const
+    {
+        return enabled_[static_cast<int>(cat)];
+    }
+
+    /**
+     * Record one event. The enabled check is the first thing that
+     * happens — a disabled category pays nothing beyond it — and the
+     * write is a POD store into the preallocated ring (zero
+     * allocation).
+     */
+    void
+    record(Tick when, Category cat, EventKind kind, std::int32_t node,
+           std::int64_t a0 = 0, std::int64_t a1 = 0)
+    {
+        if (!enabled_[static_cast<int>(cat)])
+            return;
+        ring_[next_] = Record{when, a0, a1, node, cat, kind};
+        if (++next_ == ring_.size())
+            next_ = 0;
+        if (used_ < ring_.size())
+            ++used_;
+        ++recorded_;
+    }
+
+    /**
+     * Events currently retained, in record order (which is
+     * chronological except for retroactively-laid SpanBegin records —
+     * exporters stable-sort by tick).
+     */
+    std::vector<Record> snapshot() const;
+
+    /** Tick-ordered snapshot (stable: record order breaks ties). */
+    std::vector<Record> sortedSnapshot() const;
+
+    /** Render the tick-ordered snapshot as one text line per event. */
+    std::string str() const;
+
+    /** Total events ever recorded (including overwritten ones). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events lost to ring overwrite. */
+    std::uint64_t
+    dropped() const
+    {
+        return recorded_ - used_;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    void clear();
+
+  private:
+    std::vector<Record> ring_;
+    std::size_t next_ = 0;
+    std::size_t used_ = 0;
+    std::uint64_t recorded_ = 0;
+    bool enabled_[numCategories];
+};
+
+} // namespace minos::obs
+
+#endif // MINOS_OBS_RECORDER_HH

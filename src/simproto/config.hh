@@ -17,9 +17,10 @@
 #include "common/units.hh"
 #include "simproto/models.hh"
 
-namespace minos::sim {
-class TraceLog;
-} // namespace minos::sim
+namespace minos::obs {
+class FlightRecorder;
+class WritePhaseStats;
+} // namespace minos::obs
 
 namespace minos::simproto {
 
@@ -81,8 +82,10 @@ struct ClusterConfig
     int scopeSize = 10; ///< writes per scope before [PERSIST]sc
 
     // ---- Diagnostics ----
-    /** Optional protocol event trace (see sim/trace.hh); not owned. */
-    sim::TraceLog *trace = nullptr;
+    /** Optional flight recorder (see obs/recorder.hh); not owned. */
+    obs::FlightRecorder *trace = nullptr;
+    /** Optional per-phase write latency sink; not owned. */
+    obs::WritePhaseStats *phases = nullptr;
 
     /** Number of follower nodes for any coordinator. */
     int followers() const { return numNodes - 1; }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hh"
+
 namespace minos::simproto {
 
 NodeCounters &
@@ -35,6 +37,23 @@ NodeCounters::str() const
        << "  RDLock snatches " << rdLockSnatches << ", persists "
        << persists << "\n";
     return os.str();
+}
+
+void
+NodeCounters::registerInto(obs::MetricsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.counter(prefix + "invs_sent", invsSent);
+    reg.counter(prefix + "vals_sent", valsSent);
+    reg.counter(prefix + "acks_sent", acksSent);
+    reg.counter(prefix + "invs_received", invsReceived);
+    reg.counter(prefix + "acks_received", acksReceived);
+    reg.counter(prefix + "vals_received", valsReceived);
+    reg.counter(prefix + "writes_coordinated", writesCoordinated);
+    reg.counter(prefix + "writes_obsolete_cut", writesObsoleteCut);
+    reg.counter(prefix + "invs_obsolete", invsObsolete);
+    reg.counter(prefix + "rdlock_snatches", rdLockSnatches);
+    reg.counter(prefix + "persists", persists);
 }
 
 } // namespace minos::simproto

@@ -15,6 +15,10 @@
 #include <cstdint>
 #include <string>
 
+namespace minos::obs {
+class MetricsRegistry;
+} // namespace minos::obs
+
 namespace minos::simproto {
 
 /** Protocol activity of one node. */
@@ -42,6 +46,10 @@ struct NodeCounters
 
     /** Multi-line human-readable rendering. */
     std::string str() const;
+
+    /** Publish every field as "<prefix><name>" counters. */
+    void registerInto(obs::MetricsRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 } // namespace minos::simproto

@@ -110,7 +110,32 @@ runWorkload(sim::Simulator &sim, DdpCluster &cluster,
                  "workload did not finish: ", wg.count(),
                  " workers still pending (protocol deadlock?)");
     state.result.duration = state.lastCompletion;
+    state.result.eventCore = sim.counters();
     return state.result;
+}
+
+void
+registerRunMetrics(obs::MetricsRegistry &reg, const std::string &prefix,
+                   const RunResult &res)
+{
+    reg.counter(prefix + "writes", res.writes);
+    reg.counter(prefix + "reads", res.reads);
+    reg.counter(prefix + "obsolete_writes", res.obsoleteWrites);
+    reg.gauge(prefix + "duration_ns", static_cast<double>(res.duration));
+    reg.gauge(prefix + "write_tput_ops", res.writeThroughput());
+    reg.gauge(prefix + "read_tput_ops", res.readThroughput());
+    reg.gauge(prefix + "total_tput_ops", res.totalThroughput());
+    if (!res.writeLat.empty())
+        reg.histogram(prefix + "write_lat_ns", res.writeLat);
+    if (!res.readLat.empty())
+        reg.histogram(prefix + "read_lat_ns", res.readLat);
+    if (!res.persistLat.empty())
+        reg.histogram(prefix + "persist_lat_ns", res.persistLat);
+    if (res.breakdown.count > 0) {
+        reg.gauge(prefix + "write_comm_ns", res.breakdown.meanComm());
+        reg.gauge(prefix + "write_comp_ns", res.breakdown.meanComp());
+    }
+    obs::registerEventCore(reg, prefix + "sim.", res.eventCore);
 }
 
 namespace {
@@ -175,6 +200,7 @@ runMicroservice(sim::Simulator &sim, DdpCluster &cluster,
     }
     sim.run();
     MINOS_ASSERT(wg.count() == 0, "microservice run did not finish");
+    result.eventCore = sim.counters();
     return result;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hh"
 #include "sim/simulator.hh"
 #include "simproto/cluster.hh"
 #include "stats/stats.hh"
@@ -42,6 +43,7 @@ struct RunResult
     stats::LatencySeries readLat;
     stats::LatencySeries persistLat; ///< [PERSIST]sc transactions
     stats::Breakdown breakdown;      ///< write comm/comp split (Fig. 4)
+    stats::EventCoreCounters eventCore; ///< simulator event-core stats
     Tick duration = 0;               ///< makespan of the run
     std::uint64_t writes = 0;
     std::uint64_t reads = 0;
@@ -73,6 +75,15 @@ struct RunResult
 RunResult runWorkload(sim::Simulator &sim, DdpCluster &cluster,
                       const DriverConfig &driver_cfg);
 
+/**
+ * Publish one run's results under @p prefix: throughput and duration
+ * gauges, op counters, write/read/persist latency histograms, the
+ * Fig. 4 comm/comp split, and the event-core counters.
+ */
+void registerRunMetrics(obs::MetricsRegistry &reg,
+                        const std::string &prefix,
+                        const RunResult &res);
+
 /** Parameters of a microservice end-to-end latency run (Fig. 11). */
 struct MicroserviceConfig
 {
@@ -86,6 +97,7 @@ struct MicroserviceConfig
 struct MicroserviceResult
 {
     stats::LatencySeries e2eLat;
+    stats::EventCoreCounters eventCore; ///< simulator event-core stats
 };
 
 /**

@@ -2,9 +2,7 @@
 
 #include "simproto/cluster_b.hh"
 
-#include <sstream>
-
-#include "sim/trace.hh"
+#include "obs/phase.hh"
 
 namespace minos::simproto {
 
@@ -64,16 +62,15 @@ NodeB::snatchRdLock(Record &rec, const Timestamp &ts)
 }
 
 void
-NodeB::releaseRdLockIfOwner(Record &rec, const Timestamp &ts)
+NodeB::releaseRdLockIfOwner(Record &rec, Key key, const Timestamp &ts)
 {
     if (rec.rdLockOwner == ts) {
         rec.rdLockOwner = Timestamp::none();
-        if (cfg_.trace) {
-            std::ostringstream os;
-            os << "RDLock released by " << ts;
-            cfg_.trace->record(sim_.now(), sim::TraceCategory::Lock,
-                               id_, os.str());
-        }
+        if (cfg_.trace)
+            cfg_.trace->record(sim_.now(), obs::Category::Lock,
+                               obs::EventKind::RdLockReleased, id_,
+                               static_cast<std::int64_t>(key),
+                               static_cast<std::int64_t>(ts.pack()));
         progress_.notifyAll();
     }
 }
@@ -137,12 +134,16 @@ NodeB::persistToNvm(Key key, Value value, Timestamp ts, ScopeId)
     // The core issues the persist (flush/drain instructions) and then
     // waits for the medium off-core; the event-driven runtime serves
     // other work meanwhile.
+    Tick t0 = sim_.now();
     Tick lat = nvm_.persistLatency(cfg_.recordBytes);
     Tick issue = std::min<Tick>(lat, 200);
     co_await cores_.compute(issue);
     co_await sim::delay(lat - issue);
     log_.append({key, value, ts});
     ++counters_.persists;
+    obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::Persist, t0,
+                    sim_.now(), id_,
+                    static_cast<std::int64_t>(ts.pack()));
 }
 
 void
@@ -283,11 +284,13 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
     }
 
     // Line 8: Snatch RDLock (one CAS).
+    Tick t_lock0 = sim_.now();
     co_await cores_.compute(cfg_.hostSyncNs);
     snatchRdLock(rec, ts);
 
     // Line 9: grab WRLock (spin).
     co_await grabWrLock(rec);
+    Tick t_lock1 = sim_.now();
 
     bool sent = false;
     PendingTxn *txn = nullptr;
@@ -304,13 +307,17 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
                             : cfg_.hostSendNs * cfg_.followers());
         txn->tFirstSend = sim_.now();
         sendInvs(key, value, ts, scope);
-        if (cfg_.trace) {
-            std::ostringstream os;
-            os << "coordinator " << ts << " INV fan-out key=" << key;
-            cfg_.trace->record(sim_.now(),
-                               sim::TraceCategory::Message, id_,
-                               os.str());
-        }
+        if (cfg_.trace)
+            cfg_.trace->record(sim_.now(), obs::Category::Message,
+                               obs::EventKind::InvFanout, id_,
+                               static_cast<std::int64_t>(key),
+                               static_cast<std::int64_t>(ts.pack()));
+        obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::LockWait,
+                        t_lock0, t_lock1, id_,
+                        static_cast<std::int64_t>(ts.pack()));
+        obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::InvFanout,
+                        t_lock1, txn->tFirstSend, id_,
+                        static_cast<std::int64_t>(ts.pack()));
         sent = true;
 
         // Line 12: update local volatile state (LLC) + volatileTS.
@@ -331,7 +338,7 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
         // Lines 20-21 apply on this path too: if the (already complete)
         // newer write released the RDLock before our snatch, we may be a
         // stale owner; release so reads are not blocked forever.
-        releaseRdLockIfOwner(rec, ts);
+        releaseRdLockIfOwner(rec, key, ts);
     }
 
     if (!sent) {
@@ -351,6 +358,7 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
 
     // Line 19 / Fig. 3 step e: wait for the gating ACK set.
     co_await waitClientGate(*txn);
+    Tick t_gate = sim_.now();
 
     // Post-gate per-model completion (Fig. 2 lines 20-22, Fig. 3 f).
     // Retiring the txn erases its pending_ entry, so snapshot the timing
@@ -360,7 +368,7 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
       case PersistModel::Synch:
         raiseGlbVolatile(rec, ts);
         raiseGlbDurable(rec, ts);
-        releaseRdLockIfOwner(rec, ts);
+        releaseRdLockIfOwner(rec, key, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(MsgType::VAL, key, ts, scope);
         done = *txn;
@@ -371,7 +379,7 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
         // Gate was ACK_C; send VAL_Cs, then spin for ACK_Ps, then
         // VAL_Ps (Fig. 3(i) step f).
         raiseGlbVolatile(rec, ts);
-        releaseRdLockIfOwner(rec, ts);
+        releaseRdLockIfOwner(rec, key, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(MsgType::VAL_C, key, ts, scope);
         while (txn->acksP < txn->needed || !txn->localPersistDone)
@@ -395,12 +403,25 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
       case PersistModel::Event:
       case PersistModel::Scope:
         raiseGlbVolatile(rec, ts);
-        releaseRdLockIfOwner(rec, ts);
+        releaseRdLockIfOwner(rec, key, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(valCType(), key, ts, scope);
         done = *txn;
         pending_.erase(txnKey(key, ts));
         break;
+    }
+
+    // Spans for the gather/completion phases; every timestamp was taken
+    // at an await point the protocol already had, so recording them
+    // never moves simulated time.
+    if (cfg_.trace || cfg_.phases) {
+        auto token = static_cast<std::int64_t>(ts.pack());
+        if (done.tGateAck >= done.tFirstSend && done.handleCnt > 0)
+            obs::recordSpan(cfg_.trace, cfg_.phases,
+                            obs::Phase::AckGather, done.tFirstSend,
+                            done.tGateAck, id_, token);
+        obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::Val,
+                        t_gate, sim_.now(), id_, token);
     }
 
     st.latencyNs = sim_.now() - t0;
@@ -455,7 +476,7 @@ NodeB::renfTail(Key key, Timestamp ts)
     while (txn.acksP < txn.needed || !txn.localPersistDone)
         co_await progress_.wait();
     raiseGlbDurable(rec, ts);
-    releaseRdLockIfOwner(rec, ts);
+    releaseRdLockIfOwner(rec, key, ts);
     co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
     sendVals(MsgType::VAL, key, ts, /*scope=*/0);
     pending_.erase(txnKey(key, ts));
@@ -590,14 +611,12 @@ NodeB::onInv(Message msg, Tick t_handle0)
     if (obsolete(rec, msg.tsWr)) {
         ++obsoleteInvs_;
         ++counters_.invsObsolete;
-        if (cfg_.trace) {
-            std::ostringstream os;
-            os << "INV " << msg.tsWr << " obsolete vs "
-               << rec.volatileTs << " key=" << msg.key;
-            cfg_.trace->record(sim_.now(),
-                               sim::TraceCategory::Protocol, id_,
-                               os.str());
-        }
+        if (cfg_.trace)
+            cfg_.trace->record(sim_.now(), obs::Category::Protocol,
+                               obs::EventKind::InvObsolete, id_,
+                               static_cast<std::int64_t>(msg.key),
+                               static_cast<std::int64_t>(
+                                   msg.tsWr.pack()));
         Timestamp observed = rec.volatileTs;
         if (usesSplitAcks(model_)) {
             // Fig. 3(ii)/(iv)/(vi)/(viii): ConsistencySpin, ACK_C, then
@@ -630,13 +649,12 @@ NodeB::onInv(Message msg, Tick t_handle0)
         co_await cores_.compute(cfg_.llcWriteNs);
         rec.value = msg.value;
         rec.volatileTs = msg.tsWr;
-        if (cfg_.trace) {
-            std::ostringstream os;
-            os << "INV " << msg.tsWr << " applied key=" << msg.key;
-            cfg_.trace->record(sim_.now(),
-                               sim::TraceCategory::Protocol, id_,
-                               os.str());
-        }
+        if (cfg_.trace)
+            cfg_.trace->record(sim_.now(), obs::Category::Protocol,
+                               obs::EventKind::InvApplied, id_,
+                               static_cast<std::int64_t>(msg.key),
+                               static_cast<std::int64_t>(
+                                   msg.tsWr.pack()));
         progress_.notifyAll();
         releaseWrLock(rec);
     } else {
@@ -662,7 +680,7 @@ NodeB::onInv(Message msg, Tick t_handle0)
         // We snatched before discovering obsoleteness; if the newer
         // write already came and went, we are a stale owner — release
         // so local reads are not blocked forever.
-        releaseRdLockIfOwner(rec, msg.tsWr);
+        releaseRdLockIfOwner(rec, msg.key, msg.tsWr);
         co_return;
     }
 
@@ -749,12 +767,12 @@ NodeB::onVal(Message msg)
         // Synch and REnf: single VAL marks consistency + persistency.
         raiseGlbVolatile(rec, msg.tsWr);
         raiseGlbDurable(rec, msg.tsWr);
-        releaseRdLockIfOwner(rec, msg.tsWr);
+        releaseRdLockIfOwner(rec, msg.key, msg.tsWr);
         break;
       case MsgType::VAL_C:
       case MsgType::VAL_C_SC:
         raiseGlbVolatile(rec, msg.tsWr);
-        releaseRdLockIfOwner(rec, msg.tsWr);
+        releaseRdLockIfOwner(rec, msg.key, msg.tsWr);
         break;
       case MsgType::VAL_P:
         raiseGlbDurable(rec, msg.tsWr);

@@ -108,7 +108,8 @@ class NodeB
     void snatchRdLock(kv::Record &rec, const kv::Timestamp &ts);
 
     /** Release RDLock if @p ts is still the owner. */
-    void releaseRdLockIfOwner(kv::Record &rec, const kv::Timestamp &ts);
+    void releaseRdLockIfOwner(kv::Record &rec, kv::Key key,
+                              const kv::Timestamp &ts);
 
     /** Spin-grab the WRLock (local-write mutual exclusion). */
     sim::Task<void> grabWrLock(kv::Record &rec);

@@ -1,8 +1,8 @@
 #include "fifo.hh"
 
-#include <sstream>
+#include <algorithm>
 
-#include "sim/trace.hh"
+#include "obs/phase.hh"
 
 namespace minos::snic {
 
@@ -31,9 +31,9 @@ scaledFifoLatency(Tick ns_per_kb, std::uint32_t bytes)
 
 VFifo::VFifo(sim::Simulator &sim, const simproto::ClusterConfig &cfg,
              kv::SimStore &store, sim::Link &pcie_to_host,
-             sim::Condition &progress)
+             sim::Condition &progress, kv::NodeId node)
     : sim_(sim), cfg_(cfg), store_(store), pcieToHost_(pcie_to_host),
-      progress_(progress), slots_(sim)
+      progress_(progress), slots_(sim), node_(node)
 {
     sim_.spawn(drainLoop());
 }
@@ -51,6 +51,11 @@ VFifo::enqueue(Key key, Value value, Timestamp ts)
         scaledFifoLatency(cfg_.vfifoWriteNs, cfg_.recordBytes));
     std::uint64_t id = nextId_++;
     queue_.push_back(Entry{id, key, value, ts});
+    peak_ = std::max(peak_, queue_.size());
+    if (cfg_.trace)
+        cfg_.trace->record(sim_.now(), obs::Category::Fifo,
+                           obs::EventKind::FifoDepth, node_, /*a0=*/0,
+                           static_cast<std::int64_t>(queue_.size()));
     slots_.notifyAll(); // wakes the drain loop
     co_return id;
 }
@@ -105,14 +110,12 @@ VFifo::drainLoop()
                 co_await sim::delay(busy - sim_.now());
         } else {
             ++skipped_;
-            if (cfg_.trace) {
-                std::ostringstream os;
-                os << "vFIFO skipped obsolete entry " << e.id
-                   << " ts=" << e.ts << " key=" << e.key;
-                cfg_.trace->record(sim_.now(),
-                                   sim::TraceCategory::Fifo, -1,
-                                   os.str());
-            }
+            if (cfg_.trace)
+                cfg_.trace->record(
+                    sim_.now(), obs::Category::Fifo,
+                    obs::EventKind::VfifoSkipped, node_,
+                    static_cast<std::int64_t>(e.id),
+                    static_cast<std::int64_t>(e.ts.pack()));
             drainedThrough_ = std::max(drainedThrough_, e.id + 1);
             progress_.notifyAll();
         }
@@ -125,9 +128,10 @@ VFifo::drainLoop()
 
 DFifo::DFifo(sim::Simulator &sim, const simproto::ClusterConfig &cfg,
              nvm::DurableLog &log, sim::Link &pcie_to_host,
-             sim::Condition &progress)
+             sim::Condition &progress, kv::NodeId node)
     : sim_(sim), cfg_(cfg), log_(log), hostNvm_(cfg.persistNsPerKb),
-      pcieToHost_(pcie_to_host), progress_(progress), slots_(sim)
+      pcieToHost_(pcie_to_host), progress_(progress), slots_(sim),
+      node_(node)
 {
     sim_.spawn(drainLoop());
 }
@@ -136,9 +140,15 @@ sim::Task<std::uint64_t>
 DFifo::enqueue(Key key, Value value, Timestamp ts,
                std::uint32_t size_bytes)
 {
+    // The MINOS-O persist phase is the durable enqueue; instrumenting
+    // it here covers the coordinator, follower, and background paths.
+    Tick t0 = sim_.now();
     std::uint64_t id = co_await enqueueMarker(size_bytes);
     // Durability point: the update now lives in the SNIC's NVM.
     log_.append({key, value, ts});
+    obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::Persist, t0,
+                    sim_.now(), node_,
+                    static_cast<std::int64_t>(ts.pack()));
     progress_.notifyAll();
     co_return id;
 }
@@ -156,6 +166,11 @@ DFifo::enqueueMarker(std::uint32_t size_bytes)
         scaledFifoLatency(cfg_.dfifoWriteNs, size_bytes));
     std::uint64_t id = nextId_++;
     queue_.push_back(Entry{id, size_bytes});
+    peak_ = std::max(peak_, queue_.size());
+    if (cfg_.trace)
+        cfg_.trace->record(sim_.now(), obs::Category::Fifo,
+                           obs::EventKind::FifoDepth, node_, /*a0=*/1,
+                           static_cast<std::int64_t>(queue_.size()));
     slots_.notifyAll();
     progress_.notifyAll();
     co_return id;

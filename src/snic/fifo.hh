@@ -48,7 +48,7 @@ class VFifo
      */
     VFifo(sim::Simulator &sim, const simproto::ClusterConfig &cfg,
           kv::SimStore &store, sim::Link &pcie_to_host,
-          sim::Condition &progress);
+          sim::Condition &progress, kv::NodeId node = -1);
 
     /**
      * Atomically enqueue one update. Suspends while the FIFO is full;
@@ -71,6 +71,9 @@ class VFifo
 
     std::size_t occupancy() const { return queue_.size(); }
 
+    /** Deepest the queue has ever been (explains Fig. 13). */
+    std::size_t peakOccupancy() const { return peak_; }
+
   private:
     struct Entry
     {
@@ -92,6 +95,8 @@ class VFifo
     std::uint64_t nextId_ = 0;
     std::uint64_t drainedThrough_ = 0; ///< ids < this are drained
     std::uint64_t skipped_ = 0;
+    std::size_t peak_ = 0;
+    kv::NodeId node_;
 };
 
 /**
@@ -103,7 +108,7 @@ class DFifo
   public:
     DFifo(sim::Simulator &sim, const simproto::ClusterConfig &cfg,
           nvm::DurableLog &log, sim::Link &pcie_to_host,
-          sim::Condition &progress);
+          sim::Condition &progress, kv::NodeId node = -1);
 
     /**
      * Atomically enqueue (and thereby persist) one update of
@@ -128,6 +133,9 @@ class DFifo
 
     std::size_t occupancy() const { return queue_.size(); }
 
+    /** Deepest the queue has ever been (explains Fig. 13). */
+    std::size_t peakOccupancy() const { return peak_; }
+
   private:
     struct Entry
     {
@@ -147,6 +155,8 @@ class DFifo
     std::deque<Entry> queue_;
     std::uint64_t nextId_ = 0;
     std::uint64_t drainedThrough_ = 0;
+    std::size_t peak_ = 0;
+    kv::NodeId node_;
 };
 
 } // namespace minos::snic

@@ -2,9 +2,7 @@
 
 #include "snic/cluster_o.hh"
 
-#include <sstream>
-
-#include "sim/trace.hh"
+#include "obs/phase.hh"
 
 namespace minos::snic {
 
@@ -27,8 +25,8 @@ NodeO::NodeO(sim::Simulator &sim, ClusterO &cluster,
     : sim_(sim), cluster_(cluster), cfg_(cfg), model_(model), id_(id),
       store_(cfg.numRecords), hostCores_(sim, cfg.hostCores),
       snicCores_(sim, cfg.snicCores), snicRx_(sim), progress_(sim),
-      vfifo_(sim, cfg, store_, cluster.vfifoDma(id), progress_),
-      dfifo_(sim, cfg, log_, cluster.dfifoDma(id), progress_)
+      vfifo_(sim, cfg, store_, cluster.vfifoDma(id), progress_, id),
+      dfifo_(sim, cfg, log_, cluster.dfifoDma(id), progress_, id)
 {
     sim_.spawn(snicDispatcher());
 }
@@ -173,8 +171,10 @@ NodeO::clientWrite(Key key, Value value, ScopeId scope)
     }
 
     // Snatch RDLock on the coherent metadata (Fig. 8 line 8).
+    Tick t_lock0 = sim_.now();
     co_await hostCores_.compute(cfg_.hostSyncNs + cfg_.coherenceNs);
     snatchRdLock(rec, ts);
+    Tick t_lock1 = sim_.now();
 
     // Fig. 8 line 9: re-check (no WRLock in MINOS-O).
     if (obsolete(rec, ts)) {
@@ -229,6 +229,21 @@ NodeO::clientWrite(Key key, Value value, ScopeId scope)
         co_await progress_.wait();
     txn->tGateAck = sim_.now();
     co_await hostCores_.compute(cfg_.bookkeepNs);
+
+    // Host-side phase spans; every timestamp was taken at an await
+    // point the protocol already had, so recording never moves
+    // simulated time.
+    if (cfg_.trace || cfg_.phases) {
+        auto token = static_cast<std::int64_t>(ts.pack());
+        obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::LockWait,
+                        t_lock0, t_lock1, id_, token);
+        obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::InvFanout,
+                        t_lock1, txn->tFirstSend, id_, token);
+        obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::AckGather,
+                        txn->tFirstSend, txn->tGateAck, id_, token);
+        obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::Val,
+                        txn->tGateAck, sim_.now(), id_, token);
+    }
 
     st.latencyNs = sim_.now() - t0;
     if (txn->handleCnt > 0 && txn->tGateAck > txn->tFirstSend) {
@@ -394,14 +409,12 @@ NodeO::snicOnCoordinatorInv(Message msg)
 
     if (cluster_.options().batching) {
         // Fig. 8 lines 15-17: broadcast, then enqueue.
-        if (cfg_.trace) {
-            std::ostringstream os;
-            os << "SNIC broadcast INV " << msg.tsWr << " key="
-               << msg.key;
-            cfg_.trace->record(sim_.now(),
-                               sim::TraceCategory::Message, id_,
-                               os.str());
-        }
+        if (cfg_.trace)
+            cfg_.trace->record(sim_.now(), obs::Category::Message,
+                               obs::EventKind::SnicBroadcastInv, id_,
+                               static_cast<std::int64_t>(msg.key),
+                               static_cast<std::int64_t>(
+                                   msg.tsWr.pack()));
         Message out = msg;
         out.destMask = 0;
         cluster_.snicMulticast(id_, out, /*from_batched=*/true);
@@ -698,13 +711,11 @@ NodeO::snicOnFollowerInv(Message msg, Tick t_handle0)
     txn->vfifoId = co_await vfifo_.enqueue(msg.key, msg.value,
                                            msg.tsWr);
     txn->vfifoAssigned = true;
-    if (cfg_.trace) {
-        std::ostringstream os;
-        os << "follower enqueued " << msg.tsWr << " key=" << msg.key
-           << " vfifo-entry=" << txn->vfifoId;
-        cfg_.trace->record(sim_.now(), sim::TraceCategory::Fifo, id_,
-                           os.str());
-    }
+    if (cfg_.trace)
+        cfg_.trace->record(sim_.now(), obs::Category::Fifo,
+                           obs::EventKind::FollowerEnqueued, id_,
+                           static_cast<std::int64_t>(msg.key),
+                           static_cast<std::int64_t>(txn->vfifoId));
     progress_.notifyAll();
     switch (model_) {
       case PersistModel::Synch:

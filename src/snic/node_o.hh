@@ -77,6 +77,7 @@ class NodeO
     std::size_t pendingTxns() const { return pending_.size(); }
     std::uint64_t obsoleteInvs() const { return obsoleteInvs_; }
     const VFifo &vfifo() const { return vfifo_; }
+    const DFifo &dfifo() const { return dfifo_; }
     /** Protocol activity counters. */
     const simproto::NodeCounters &counters() const { return counters_; }
     /** @} */

@@ -1,156 +1,185 @@
 /**
  * @file
- * Tests of the protocol event-trace infrastructure: ring semantics,
- * category filtering, and end-to-end integration with both engines.
+ * Integration tests of the flight recorder and phase spans with both
+ * protocol engines: typed protocol/lock/FIFO events show up where the
+ * protocol says they must, every write phase is spanned, and a detached
+ * recorder leaves the simulated results bit-identical (the observability
+ * layer observes, it does not perturb).
  */
 
 #include <gtest/gtest.h>
 
-#include "sim/trace.hh"
+#include "obs/phase.hh"
+#include "obs/recorder.hh"
 #include "simproto/cluster_b.hh"
 #include "simproto/driver.hh"
 #include "snic/cluster_o.hh"
 
 using namespace minos;
-using namespace minos::sim;
+using namespace minos::obs;
 using namespace minos::simproto;
 
-TEST(TraceLog, RecordsInOrder)
-{
-    TraceLog log(16);
-    log.record(10, TraceCategory::Protocol, 0, "a");
-    log.record(20, TraceCategory::Message, 1, "b");
-    log.record(30, TraceCategory::Lock, 2, "c");
-    auto events = log.snapshot();
-    ASSERT_EQ(events.size(), 3u);
-    EXPECT_EQ(events[0].text, "a");
-    EXPECT_EQ(events[1].text, "b");
-    EXPECT_EQ(events[2].text, "c");
-    EXPECT_EQ(events[2].when, 30);
-    EXPECT_EQ(events[2].node, 2);
-}
+namespace {
 
-TEST(TraceLog, RingOverwritesOldest)
+struct TraceRun
 {
-    TraceLog log(4);
-    for (int i = 0; i < 10; ++i)
-        log.record(i, TraceCategory::Protocol, 0, std::to_string(i));
-    auto events = log.snapshot();
-    ASSERT_EQ(events.size(), 4u);
-    EXPECT_EQ(events.front().text, "6"); // oldest retained
-    EXPECT_EQ(events.back().text, "9");
-    EXPECT_EQ(log.recorded(), 10u);
-}
+    FlightRecorder recorder{1 << 14};
+    WritePhaseStats phases;
+    RunResult result;
+};
 
-TEST(TraceLog, CategoryFiltering)
+DriverConfig
+smallDriver(const ClusterConfig &cfg, double write_fraction)
 {
-    TraceLog log(16);
-    log.setEnabled(TraceCategory::Message, false);
-    log.record(1, TraceCategory::Message, 0, "dropped");
-    log.record(2, TraceCategory::Protocol, 0, "kept");
-    auto events = log.snapshot();
-    ASSERT_EQ(events.size(), 1u);
-    EXPECT_EQ(events[0].text, "kept");
-    EXPECT_FALSE(log.enabled(TraceCategory::Message));
-    EXPECT_TRUE(log.enabled(TraceCategory::Protocol));
-}
-
-TEST(TraceLog, StrRendersReadableLines)
-{
-    TraceLog log(8);
-    log.record(150, TraceCategory::Fifo, 3, "vFIFO skipped");
-    std::string out = log.str();
-    EXPECT_NE(out.find("150ns"), std::string::npos);
-    EXPECT_NE(out.find("[fifo]"), std::string::npos);
-    EXPECT_NE(out.find("node3"), std::string::npos);
-    EXPECT_NE(out.find("vFIFO skipped"), std::string::npos);
-}
-
-TEST(TraceLog, ClearResets)
-{
-    TraceLog log(8);
-    log.record(1, TraceCategory::Protocol, 0, "x");
-    log.clear();
-    EXPECT_TRUE(log.snapshot().empty());
-    EXPECT_EQ(log.recorded(), 0u);
-}
-
-TEST(TraceIntegration, BaselineEngineEmitsProtocolEvents)
-{
-    sim::Simulator sim;
-    TraceLog log(1 << 14);
-    ClusterConfig cfg;
-    cfg.numNodes = 3;
-    cfg.numRecords = 4;
-    cfg.trace = &log;
-    ClusterB cluster(sim, cfg, PersistModel::Synch);
-
     DriverConfig dc;
-    dc.requestsPerNode = 40;
+    dc.requestsPerNode = 60;
     dc.workersPerNode = 2;
     dc.ycsb.numRecords = cfg.numRecords;
-    dc.ycsb.writeFraction = 1.0;
-    runWorkload(sim, cluster, dc);
+    dc.ycsb.writeFraction = write_fraction;
+    return dc;
+}
 
-    EXPECT_GT(log.recorded(), 0u);
-    bool saw_fanout = false, saw_apply = false, saw_release = false;
-    for (const auto &e : log.snapshot()) {
-        saw_fanout |= e.text.find("INV fan-out") != std::string::npos;
-        saw_apply |= e.text.find("applied") != std::string::npos;
-        saw_release |=
-            e.text.find("RDLock released") != std::string::npos;
-    }
-    EXPECT_TRUE(saw_fanout);
-    EXPECT_TRUE(saw_apply);
-    EXPECT_TRUE(saw_release);
-    // Timestamps are non-decreasing.
+TraceRun
+runB(int records = 8)
+{
+    TraceRun run;
+    sim::Simulator sim;
+    ClusterConfig cfg;
+    cfg.numNodes = 3;
+    cfg.numRecords = static_cast<std::uint64_t>(records);
+    cfg.trace = &run.recorder;
+    cfg.phases = &run.phases;
+    ClusterB cluster(sim, cfg, PersistModel::Synch);
+    run.result = runWorkload(sim, cluster, smallDriver(cfg, 1.0));
+    return run;
+}
+
+TraceRun
+runO(int records = 8)
+{
+    TraceRun run;
+    sim::Simulator sim;
+    ClusterConfig cfg;
+    cfg.numNodes = 3;
+    cfg.numRecords = static_cast<std::uint64_t>(records);
+    cfg.trace = &run.recorder;
+    cfg.phases = &run.phases;
+    snic::ClusterO cluster(sim, cfg, PersistModel::Synch);
+    run.result = runWorkload(sim, cluster, smallDriver(cfg, 1.0));
+    return run;
+}
+
+bool
+sawKind(const std::vector<Record> &events, EventKind kind)
+{
+    for (const auto &e : events)
+        if (e.kind == kind)
+            return true;
+    return false;
+}
+
+TEST(TraceIntegration, BaselineEngineEmitsTypedProtocolEvents)
+{
+    TraceRun run = runB();
+    EXPECT_GT(run.recorder.recorded(), 0u);
+    auto events = run.recorder.snapshot();
+    EXPECT_TRUE(sawKind(events, EventKind::InvFanout));
+    EXPECT_TRUE(sawKind(events, EventKind::InvApplied));
+    EXPECT_TRUE(sawKind(events, EventKind::RdLockReleased));
+
+    // The sorted snapshot is non-decreasing in tick (the raw ring is
+    // not, because SpanBegin records are laid retroactively).
     Tick prev = 0;
-    for (const auto &e : log.snapshot()) {
+    for (const auto &e : run.recorder.sortedSnapshot()) {
         EXPECT_GE(e.when, prev);
         prev = e.when;
     }
 }
 
-TEST(TraceIntegration, OffloadEngineEmitsFifoEvents)
+TEST(TraceIntegration, OffloadEngineEmitsSnicEvents)
 {
-    sim::Simulator sim;
-    TraceLog log(1 << 14);
-    ClusterConfig cfg;
-    cfg.numNodes = 3;
-    cfg.numRecords = 2; // force conflicts -> vFIFO skips
-    cfg.trace = &log;
-    snic::ClusterO cluster(sim, cfg, PersistModel::Synch);
-
-    DriverConfig dc;
-    dc.requestsPerNode = 60;
-    dc.workersPerNode = 3;
-    dc.ycsb.numRecords = cfg.numRecords;
-    dc.ycsb.writeFraction = 1.0;
-    runWorkload(sim, cluster, dc);
-
-    bool saw_broadcast = false, saw_enqueue = false;
-    for (const auto &e : log.snapshot()) {
-        saw_broadcast |=
-            e.text.find("SNIC broadcast INV") != std::string::npos;
-        saw_enqueue |=
-            e.text.find("follower enqueued") != std::string::npos;
-    }
-    EXPECT_TRUE(saw_broadcast);
-    EXPECT_TRUE(saw_enqueue);
+    TraceRun run = runO(/*records=*/2); // conflicts -> vFIFO skips
+    auto events = run.recorder.snapshot();
+    EXPECT_TRUE(sawKind(events, EventKind::SnicBroadcastInv));
+    EXPECT_TRUE(sawKind(events, EventKind::FollowerEnqueued));
+    EXPECT_TRUE(sawKind(events, EventKind::FifoDepth));
 }
 
-TEST(TraceIntegration, DetachedTraceCostsNothing)
+TEST(TraceIntegration, EveryWritePhaseIsSpannedOnBothEngines)
 {
-    // With no trace attached (the default), runs behave identically.
+    for (bool offload : {false, true}) {
+        TraceRun run = offload ? runO() : runB();
+        SCOPED_TRACE(offload ? "MINOS-O" : "MINOS-B");
+
+        bool begun[numPhases] = {};
+        bool ended[numPhases] = {};
+        for (const auto &e : run.recorder.snapshot()) {
+            if (e.category != Category::Phase)
+                continue;
+            ASSERT_GE(e.a0, 0);
+            ASSERT_LT(e.a0, numPhases);
+            if (e.kind == EventKind::SpanBegin)
+                begun[e.a0] = true;
+            else if (e.kind == EventKind::SpanEnd)
+                ended[e.a0] = true;
+        }
+        for (int p = 0; p < numPhases; ++p) {
+            EXPECT_TRUE(begun[p])
+                << "no SpanBegin for phase "
+                << phaseName(static_cast<Phase>(p));
+            EXPECT_TRUE(ended[p])
+                << "no SpanEnd for phase "
+                << phaseName(static_cast<Phase>(p));
+        }
+
+        // The aggregated per-phase series are populated too, and
+        // coordinator phases have one sample per coordinated write.
+        EXPECT_FALSE(run.phases.empty());
+        for (Phase p : {Phase::LockWait, Phase::InvFanout,
+                        Phase::Persist, Phase::Val})
+            EXPECT_GT(run.phases.series(p).count(), 0u)
+                << phaseName(p);
+        EXPECT_EQ(run.phases.series(Phase::LockWait).count(),
+                  run.phases.series(Phase::Val).count());
+    }
+}
+
+TEST(TraceIntegration, PhaseStatsAloneWorkWithoutRecorder)
+{
+    // --phases without --trace-out: cfg.phases set, cfg.trace null.
     sim::Simulator sim;
     ClusterConfig cfg;
     cfg.numNodes = 3;
     cfg.numRecords = 8;
-    ASSERT_EQ(cfg.trace, nullptr);
+    WritePhaseStats phases;
+    cfg.phases = &phases;
     ClusterB cluster(sim, cfg, PersistModel::Synch);
-    DriverConfig dc;
-    dc.requestsPerNode = 20;
-    dc.ycsb.numRecords = cfg.numRecords;
-    RunResult res = runWorkload(sim, cluster, dc);
-    EXPECT_EQ(res.writes + res.reads, 60u);
+    runWorkload(sim, cluster, smallDriver(cfg, 1.0));
+    EXPECT_FALSE(phases.empty());
+    EXPECT_FALSE(phases.table().empty());
 }
+
+TEST(TraceIntegration, DetachedRecorderDoesNotPerturbResults)
+{
+    // Identical config and seed, once bare and once fully instrumented:
+    // the simulated-time results must match exactly.
+    auto bare = [] {
+        sim::Simulator sim;
+        ClusterConfig cfg;
+        cfg.numNodes = 3;
+        cfg.numRecords = 8;
+        EXPECT_EQ(cfg.trace, nullptr);
+        EXPECT_EQ(cfg.phases, nullptr);
+        ClusterB cluster(sim, cfg, PersistModel::Synch);
+        return runWorkload(sim, cluster, smallDriver(cfg, 1.0));
+    }();
+    TraceRun traced = runB();
+
+    EXPECT_EQ(bare.writes, traced.result.writes);
+    EXPECT_EQ(bare.reads, traced.result.reads);
+    EXPECT_EQ(bare.duration, traced.result.duration);
+    ASSERT_EQ(bare.writeLat.count(), traced.result.writeLat.count());
+    EXPECT_EQ(bare.writeLat.samples(), traced.result.writeLat.samples());
+}
+
+} // namespace

@@ -8,18 +8,30 @@
  *             [--write-frac=F] [--dist=zipfian|uniform]
  *             [--persist-ns=N] [--vfifo=N] [--dfifo=N]
  *             [--no-batch] [--no-bcast] [--csv] [--seed=N]
+ *             [--trace-out=FILE.json] [--trace-capacity=N]
+ *             [--metrics-out=FILE.json] [--phases]
  *
  * Prints a human-readable summary, or a CSV row with --csv (header via
  * --csv-header) so sweeps can be scripted:
  *
  *   for n in 2 4 6 8 10; do ./minos_sim --nodes=$n --csv; done
+ *
+ * --trace-out attaches the flight recorder and writes a Chrome
+ * trace-event JSON (load it in Perfetto); --metrics-out writes the
+ * run's metrics-registry JSON; --phases prints the per-phase write
+ * latency table (see docs/observability.md).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "common/flags.hh"
 #include "common/logging.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
 #include "simproto/cluster_b.hh"
 #include "simproto/driver.hh"
 #include "snic/cluster_o.hh"
@@ -47,8 +59,18 @@ const std::vector<std::string> knownFlags = {
     "engine", "model", "nodes", "records", "requests", "workers",
     "write-frac", "rmw-frac", "ycsb", "dist", "persist-ns", "vfifo", "dfifo", "no-batch",
     "no-bcast", "csv", "csv-header", "seed", "scope-size", "stats",
+    "trace-out", "trace-capacity", "metrics-out", "phases",
     "help",
 };
+
+void
+writeFileOrDie(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    MINOS_ASSERT(out.good(), "cannot open ", path, " for writing");
+    out << content;
+    MINOS_ASSERT(out.good(), "write to ", path, " failed");
+}
 
 void
 usage(const char *prog)
@@ -62,7 +84,9 @@ usage(const char *prog)
         "[--persist-ns=N]\n"
         "          [--vfifo=N] [--dfifo=N] [--no-batch] [--no-bcast]\n"
         "          [--scope-size=N] [--seed=N] [--csv] "
-        "[--csv-header]\n",
+        "[--csv-header]\n"
+        "          [--trace-out=FILE.json] [--trace-capacity=N]\n"
+        "          [--metrics-out=FILE.json] [--phases]\n",
         prog);
 }
 
@@ -136,19 +160,61 @@ main(int argc, char **argv)
     else if (dist != "zipfian")
         MINOS_FATAL("--dist must be zipfian or uniform");
 
+    const std::string trace_out = flags.getString("trace-out", "");
+    const std::string metrics_out = flags.getString("metrics-out", "");
+    const bool want_phases = flags.getBool("phases") ||
+                             !metrics_out.empty() || !trace_out.empty();
+
+    obs::FlightRecorder recorder(static_cast<std::size_t>(
+        flags.getInt("trace-capacity", 1 << 15)));
+    obs::WritePhaseStats phase_stats;
+    if (!trace_out.empty())
+        cfg.trace = &recorder;
+    if (want_phases)
+        cfg.phases = &phase_stats;
+
     sim::Simulator sim;
     RunResult res;
     NodeCounters aggregate;
+    std::size_t vfifo_peak = 0, dfifo_peak = 0;
+    std::uint64_t vfifo_skipped = 0;
     if (engine == "o") {
         snic::ClusterO cluster(sim, cfg, model, opts);
         res = runWorkload(sim, cluster, dc);
-        for (int n = 0; n < cfg.numNodes; ++n)
+        for (int n = 0; n < cfg.numNodes; ++n) {
             aggregate += cluster.node(n).counters();
+            vfifo_peak = std::max(vfifo_peak,
+                                  cluster.node(n).vfifo().peakOccupancy());
+            dfifo_peak = std::max(dfifo_peak,
+                                  cluster.node(n).dfifo().peakOccupancy());
+            vfifo_skipped += cluster.node(n).vfifo().skippedObsolete();
+        }
     } else {
         ClusterB cluster(sim, cfg, model, opts);
         res = runWorkload(sim, cluster, dc);
         for (int n = 0; n < cfg.numNodes; ++n)
             aggregate += cluster.node(n).counters();
+    }
+
+    if (!trace_out.empty())
+        writeFileOrDie(trace_out, obs::chromeTraceJson(recorder));
+    if (!metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        registerRunMetrics(reg, "run.", res);
+        aggregate.registerInto(reg, "proto.");
+        phase_stats.registerInto(reg, "run.");
+        if (engine == "o") {
+            reg.gauge("snic.vfifo_peak",
+                      static_cast<double>(vfifo_peak));
+            reg.gauge("snic.dfifo_peak",
+                      static_cast<double>(dfifo_peak));
+            reg.counter("snic.vfifo_skipped", vfifo_skipped);
+        }
+        if (!trace_out.empty()) {
+            reg.counter("trace.recorded", recorder.recorded());
+            reg.counter("trace.dropped", recorder.dropped());
+        }
+        writeFileOrDie(metrics_out, reg.json());
     }
 
     if (flags.getBool("csv")) {
@@ -191,6 +257,9 @@ main(int argc, char **argv)
     std::printf("  comm fraction : %.1f%%   obsolete writes: %llu\n",
                 100.0 * res.breakdown.commFraction(),
                 static_cast<unsigned long long>(res.obsoleteWrites));
+    if (flags.getBool("phases") && !phase_stats.empty())
+        std::printf("per-phase write latency:\n%s",
+                    phase_stats.table().c_str());
     if (flags.getBool("stats")) {
         std::printf("cluster-aggregate protocol counters:\n%s",
                     aggregate.str().c_str());
