@@ -53,6 +53,26 @@ Flags::getString(const std::string &name, const std::string &dflt) const
     return it == values_.end() ? dflt : it->second;
 }
 
+std::vector<std::string>
+Flags::getStrings(const std::string &name, char sep) const
+{
+    std::vector<std::string> out;
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return out;
+    const std::string &v = it->second;
+    std::size_t start = 0;
+    while (start <= v.size()) {
+        std::size_t end = v.find(sep, start);
+        if (end == std::string::npos)
+            end = v.size();
+        if (end > start)
+            out.push_back(v.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
 std::int64_t
 Flags::getInt(const std::string &name, std::int64_t dflt) const
 {

@@ -35,6 +35,14 @@ class Flags
                           const std::string &dflt = "") const;
 
     /**
+     * Value split on @p sep (default comma), empty pieces dropped:
+     * `--trace-categories=lock,fifo` -> {"lock","fifo"}. Empty when the
+     * flag is absent or has no value.
+     */
+    std::vector<std::string> getStrings(const std::string &name,
+                                        char sep = ',') const;
+
+    /**
      * Integer value, or @p dflt when absent. Malformed values are a
      * fatal user error.
      */

@@ -1,0 +1,716 @@
+#include "obs/audit.hh"
+
+#include <sstream>
+
+#include "check/predicates.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace minos::obs {
+
+using simproto::PersistModel;
+
+namespace {
+
+constexpr std::uint64_t
+nodeBit(std::int32_t node)
+{
+    return (node >= 0 && node < 64) ? (1ull << node) : 0;
+}
+
+bool
+hasNode(std::uint64_t mask, std::int32_t node)
+{
+    return (mask & nodeBit(node)) != 0;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// OpLedger
+// ---------------------------------------------------------------------
+
+OpLedger::Applied
+OpLedger::apply(const Record &rec)
+{
+    Applied ap;
+    switch (rec.kind) {
+      case EventKind::ClientOpBegin:
+        if (opType(rec.aux) != OpType::Write || rec.a1 == 0)
+            return ap;
+        ap.id = {rec.a0, static_cast<std::uint64_t>(rec.a1)};
+        {
+            auto [it, inserted] = ops_.try_emplace(ap.id);
+            it->second.coordinator = rec.node;
+            ap.op = &it->second;
+            ap.newOp = inserted;
+        }
+        return ap;
+
+      case EventKind::ClientOpEnd:
+        if (rec.a1 == 0)
+            return ap;
+        ap.id = {rec.a0, static_cast<std::uint64_t>(rec.a1)};
+        ap.op = find(ap.id);
+        if (ap.op && opType(rec.aux) == OpType::Write)
+            ap.op->endedObsolete = opObsolete(rec.aux);
+        return ap;
+
+      case EventKind::InvFanout:
+      case EventKind::SnicBroadcastInv:
+        ap.id = {rec.a0, static_cast<std::uint64_t>(rec.a1)};
+        ap.op = find(ap.id);
+        if (ap.op)
+            ap.op->fanout = true;
+        return ap;
+
+      case EventKind::InvObsolete:
+        ap.id = {rec.a0, static_cast<std::uint64_t>(rec.a1)};
+        ap.op = find(ap.id);
+        if (ap.op)
+            ap.op->obsoleteNodes |= nodeBit(rec.node);
+        return ap;
+
+      case EventKind::PersistDone:
+        ap.id = {rec.a0, static_cast<std::uint64_t>(rec.a1)};
+        ap.op = find(ap.id);
+        if (ap.op)
+            ap.op->persistNodes |= nodeBit(rec.node);
+        return ap;
+
+      case EventKind::AckReceived: {
+        if (ackFlavor(rec.aux) == AckFlavor::ScopePersist)
+            return ap;
+        ap.id = {rec.a0, static_cast<std::uint64_t>(rec.a1)};
+        ap.op = find(ap.id);
+        if (!ap.op)
+            return ap;
+        std::uint64_t bit = nodeBit(ackSender(rec.aux));
+        switch (ackFlavor(rec.aux)) {
+          case AckFlavor::Combined:
+            ap.duplicateAck = (ap.op->seenAck & bit) != 0;
+            ap.op->seenAck |= bit;
+            ++ap.op->acks;
+            break;
+          case AckFlavor::Consistency:
+          case AckFlavor::ScopeConsistency:
+            ap.duplicateAck = (ap.op->seenAckC & bit) != 0;
+            ap.op->seenAckC |= bit;
+            ++ap.op->acksC;
+            break;
+          case AckFlavor::Persistency:
+            ap.duplicateAck = (ap.op->seenAckP & bit) != 0;
+            ap.op->seenAckP |= bit;
+            ++ap.op->acksP;
+            break;
+          case AckFlavor::ScopePersist:
+            break;
+        }
+        return ap;
+      }
+
+      case EventKind::AckSent:
+        // Send-side ACK records carry no gate state (gates fire on
+        // receipt); they only locate the op for the send-time rules.
+        if (ackFlavor(rec.aux) == AckFlavor::ScopePersist)
+            return ap;
+        ap.id = {rec.a0, static_cast<std::uint64_t>(rec.a1)};
+        ap.op = find(ap.id);
+        return ap;
+
+      case EventKind::InvApplied:
+      case EventKind::RdLockReleased:
+      case EventKind::GlbRaised:
+      case EventKind::ScopeMark:
+        ap.id = {rec.a0, static_cast<std::uint64_t>(rec.a1)};
+        ap.op = find(ap.id);
+        return ap;
+
+      case EventKind::ValSent:
+        if (static_cast<ValFlavor>(rec.aux) == ValFlavor::ValPSc)
+            return ap;
+        ap.id = {rec.a0, static_cast<std::uint64_t>(rec.a1)};
+        ap.op = find(ap.id);
+        return ap;
+
+      case EventKind::FollowerEnqueued:
+      case EventKind::VfifoSkipped:
+      case EventKind::FifoDepth:
+      case EventKind::SpanBegin:
+      case EventKind::SpanEnd:
+        return ap;
+    }
+    return ap;
+}
+
+OpLedger::OpState *
+OpLedger::find(const OpId &id)
+{
+    auto it = ops_.find(id);
+    return it == ops_.end() ? nullptr : &it->second;
+}
+
+const OpLedger::OpState *
+OpLedger::find(const OpId &id) const
+{
+    auto it = ops_.find(id);
+    return it == ops_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------
+// Auditor base
+// ---------------------------------------------------------------------
+
+Auditor::Auditor(const char *name, const AuditConfig *cfg,
+                 const OpTraceIndex *index)
+    : name_(name), cfg_(cfg), index_(index)
+{
+}
+
+void
+Auditor::violate(const char *rule, Tick when, const OpId &id,
+                 std::string detail)
+{
+    violateRaw(rule, when, std::move(detail),
+               index_ ? index_->render(id) : std::string());
+}
+
+void
+Auditor::violateRaw(const char *rule, Tick when, std::string detail,
+                    std::string trace)
+{
+    ++violationCount_;
+    if (violations_.size() < maxStoredViolations)
+        violations_.push_back(AuditViolation{rule, when,
+                                             std::move(detail),
+                                             std::move(trace)});
+}
+
+void
+Auditor::registerInto(MetricsRegistry &reg) const
+{
+    std::string prefix = std::string("audit.") + name_ + ".";
+    reg.counter(prefix + "violations", violationCount_);
+    reg.counter(prefix + "ops_audited", opsAudited_);
+}
+
+// ---------------------------------------------------------------------
+// ConsistencyAuditor (Table I conds. 2b/2c)
+// ---------------------------------------------------------------------
+
+ConsistencyAuditor::ConsistencyAuditor(const AuditConfig *cfg,
+                                       const OpTraceIndex *index)
+    : Auditor("consistency", cfg, index)
+{
+}
+
+bool
+ConsistencyAuditor::gateReached(const OpLedger::OpState &st) const
+{
+    return check::consistencyAcksComplete(cfg().model, st.acks,
+                                          st.acksC, needed());
+}
+
+void
+ConsistencyAuditor::onRecord(const Record &rec)
+{
+    OpLedger::Applied ap = ledger_.apply(rec);
+    if (ap.newOp)
+        ++opsAudited_;
+    if (!ap.op)
+        return;
+    const OpLedger::OpState &st = *ap.op;
+
+    switch (rec.kind) {
+      case EventKind::GlbRaised:
+        // Cond. 2c: glb_volatileTS must not pass a write until all of
+        // its consistency ACKs are in.
+        if (rec.aux == 0 && !gateReached(st))
+            violate("C1-glb-volatile-before-acks", rec.when, ap.id,
+                    "glb_volatileTS raised at node " +
+                        std::to_string(rec.node) + " with " +
+                        std::to_string(st.acks + st.acksC) + "/" +
+                        std::to_string(needed()) +
+                        " consistency ACKs");
+        break;
+
+      case EventKind::ValSent: {
+        ValFlavor f = static_cast<ValFlavor>(rec.aux);
+        if ((f == ValFlavor::Val || f == ValFlavor::ValC ||
+             f == ValFlavor::ValCSc) &&
+            !gateReached(st))
+            violate("C2-val-before-acks", rec.when, ap.id,
+                    "consistency VAL sent with " +
+                        std::to_string(st.acks + st.acksC) + "/" +
+                        std::to_string(needed()) +
+                        " consistency ACKs");
+        break;
+      }
+
+      case EventKind::RdLockReleased:
+        // A write's RDLock may only drop after its gate, or on a
+        // replica that cut the write as obsolete.
+        if (!gateReached(st) && !hasNode(st.obsoleteNodes, rec.node) &&
+            !st.endedObsolete)
+            violate("C3-rdlock-released-early", rec.when, ap.id,
+                    "RDLock released at node " +
+                        std::to_string(rec.node) +
+                        " before the consistency gate (" +
+                        std::to_string(st.acks + st.acksC) + "/" +
+                        std::to_string(needed()) + " ACKs)");
+        break;
+
+      case EventKind::ClientOpEnd:
+        // Cond. 2b flip side: a validated read may only observe writes
+        // whose consistency ACKs are all in.
+        if (opType(rec.aux) == OpType::Read && !gateReached(st))
+            violate("C4-read-before-validation", rec.when, ap.id,
+                    "read at node " + std::to_string(rec.node) +
+                        " observed a write with " +
+                        std::to_string(st.acks + st.acksC) + "/" +
+                        std::to_string(needed()) +
+                        " consistency ACKs");
+        break;
+
+      default:
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// PersistencyAuditor (Table I conds. 3a/3b, per model)
+// ---------------------------------------------------------------------
+
+PersistencyAuditor::PersistencyAuditor(const AuditConfig *cfg,
+                                       const OpTraceIndex *index)
+    : Auditor("persistency", cfg, index)
+{
+}
+
+bool
+PersistencyAuditor::persistGateReached(
+    const OpLedger::OpState &st) const
+{
+    return check::persistencyAcksComplete(cfg().model, st.acks,
+                                          st.acksP, needed());
+}
+
+void
+PersistencyAuditor::onRecord(const Record &rec)
+{
+    if (rec.kind == EventKind::ScopeMark) {
+        scopeWrites_[static_cast<std::uint64_t>(rec.a0) >> 32]
+            .push_back({rec.a0 & 0xffffffff,
+                        static_cast<std::uint64_t>(rec.a1)});
+    }
+    if (rec.kind == EventKind::AckSent &&
+        ackFlavor(rec.aux) == AckFlavor::ScopePersist) {
+        // <Lin, Scope> cond.: a follower's [ACK_P]sc certifies that
+        // everything written into the scope is durable there. Checked
+        // when the ACK leaves the follower: by receipt time the scope
+        // may have flushed anyway, masking a premature acknowledgment.
+        std::int32_t sender = ackSender(rec.aux);
+        auto it = scopeWrites_.find(
+            static_cast<std::uint64_t>(rec.a0));
+        if (it != scopeWrites_.end() && sender >= 0) {
+            for (const OpId &id : it->second) {
+                const OpLedger::OpState *st = ledger_.find(id);
+                if (st && st->fanout &&
+                    !hasNode(st->persistNodes | st->obsoleteNodes,
+                             sender))
+                    violate("P4-scope-ack-before-flush", rec.when, id,
+                            "[ACK_P]sc from node " +
+                                std::to_string(sender) + " for scope " +
+                                std::to_string(rec.a0) +
+                                " with an in-scope write not yet "
+                                "durable there");
+            }
+        }
+        return;
+    }
+
+    OpLedger::Applied ap = ledger_.apply(rec);
+    if (ap.newOp)
+        ++opsAudited_;
+    if (!ap.op)
+        return;
+    const OpLedger::OpState &st = *ap.op;
+
+    switch (rec.kind) {
+      case EventKind::AckSent: {
+        // Cond. 3a: an ACK carrying persistency (ACK_P, or Synch's
+        // combined ACK) certifies durability at its sender, so the
+        // sender must be durable (or an obsolete-cut) when the ACK
+        // leaves. Receipt time is too late to check: the persist often
+        // completes while the ACK is still in the network.
+        AckFlavor f = ackFlavor(rec.aux);
+        std::int32_t sender = ackSender(rec.aux);
+        if ((f == AckFlavor::Persistency ||
+             f == AckFlavor::Combined) &&
+            sender >= 0 &&
+            !hasNode(st.persistNodes | st.obsoleteNodes, sender))
+            violate("P1-ack-before-persist", rec.when, ap.id,
+                    "persistency ACK sent by node " +
+                        std::to_string(sender) +
+                        " before its persist completed");
+        break;
+      }
+
+      case EventKind::ValSent: {
+        // Cond. 3b: no persistency validation before all ACK_Ps.
+        ValFlavor f = static_cast<ValFlavor>(rec.aux);
+        bool certifies_persist =
+            f == ValFlavor::ValP ||
+            (f == ValFlavor::Val &&
+             simproto::tracksPersistPerWrite(cfg().model));
+        if (certifies_persist && !persistGateReached(st))
+            violate("P2-val-before-persist-acks", rec.when, ap.id,
+                    "persistency VAL sent with " +
+                        std::to_string(st.acks + st.acksP) + "/" +
+                        std::to_string(needed()) +
+                        " persistency ACKs");
+        break;
+      }
+
+      case EventKind::GlbRaised:
+        // Cond. 3b: glb_durableTS must not pass a write until all of
+        // its persistency ACKs are in. Event/Scope never raise it per
+        // write, so any such raise there is a violation too.
+        if (rec.aux == 1 && !persistGateReached(st))
+            violate("P6-glb-durable-before-acks", rec.when, ap.id,
+                    "glb_durableTS raised at node " +
+                        std::to_string(rec.node) + " with " +
+                        std::to_string(st.acks + st.acksP) + "/" +
+                        std::to_string(needed()) +
+                        " persistency ACKs");
+        break;
+
+      case EventKind::ClientOpEnd:
+        // Model-specific read rule: Synch and REnf promise any
+        // readable record is already durable on every replica (REnf:
+        // "no read returns before the record is durable everywhere").
+        if (opType(rec.aux) == OpType::Read &&
+            check::readImpliesDurableEverywhere(cfg().model) &&
+            !persistGateReached(st))
+            violate("P3-read-before-durable", rec.when, ap.id,
+                    "read at node " + std::to_string(rec.node) +
+                        " observed a write with " +
+                        std::to_string(st.acks + st.acksP) + "/" +
+                        std::to_string(needed()) +
+                        " persistency ACKs");
+        break;
+
+      default:
+        break;
+    }
+}
+
+void
+PersistencyAuditor::finish()
+{
+    // Quiescence (cond. 3a at end of run): every fanned-out write must
+    // be durable (or have been cut as obsolete) on every node — all
+    // five models eventually persist everything they applied.
+    for (const auto &[id, st] : ledger_.all()) {
+        if (!st.fanout)
+            continue;
+        std::uint64_t covered = st.persistNodes | st.obsoleteNodes;
+        std::string missing;
+        for (int n = 0; n < cfg().numNodes; ++n) {
+            if (hasNode(covered, n))
+                continue;
+            if (!missing.empty())
+                missing += ',';
+            missing += std::to_string(n);
+        }
+        if (!missing.empty())
+            violate("P5-not-durable-at-quiescence", 0, id,
+                    "write never became durable on node(s) " +
+                        missing);
+    }
+}
+
+// ---------------------------------------------------------------------
+// AckConservationAuditor
+// ---------------------------------------------------------------------
+
+AckConservationAuditor::AckConservationAuditor(
+    const AuditConfig *cfg, const OpTraceIndex *index)
+    : Auditor("ack_conservation", cfg, index)
+{
+}
+
+void
+AckConservationAuditor::onRecord(const Record &rec)
+{
+    if (rec.kind == EventKind::AckReceived &&
+        ackFlavor(rec.aux) == AckFlavor::ScopePersist) {
+        std::int32_t sender = ackSender(rec.aux);
+        ScopeAcks &sa = scopeAcks_[static_cast<std::uint64_t>(rec.a0)];
+        if (sender >= 0) {
+            if (hasNode(sa.senders, sender))
+                violateRaw("A2-duplicate-scope-ack", rec.when,
+                           "duplicate [ACK_P]sc from node " +
+                               std::to_string(sender) + " for scope " +
+                               std::to_string(rec.a0),
+                           "");
+            sa.senders |= nodeBit(sender);
+        }
+        return;
+    }
+
+    OpLedger::Applied ap = ledger_.apply(rec);
+    if (ap.newOp)
+        ++opsAudited_;
+
+    if (rec.kind == EventKind::ClientOpEnd &&
+        opType(rec.aux) == OpType::PersistSc) {
+        ScopeAcks &sa = scopeAcks_[static_cast<std::uint64_t>(rec.a0)];
+        sa.completed = true;
+        sa.endedAt = rec.when;
+        return;
+    }
+
+    if (rec.kind != EventKind::AckReceived)
+        return;
+
+    if (!ap.op || !ap.op->fanout) {
+        violate("A1-orphan-ack", rec.when, ap.id,
+                "ACK received for a write that never fanned out");
+        return;
+    }
+    if (ap.duplicateAck)
+        violate("A2-duplicate-ack", rec.when, ap.id,
+                "duplicate ACK (same family and sender) from node " +
+                    std::to_string(ackSender(rec.aux)));
+}
+
+void
+AckConservationAuditor::finish()
+{
+    for (const auto &[id, st] : ledger_.all()) {
+        if (!st.fanout)
+            continue;
+        // Exactly N-1 consistency-family ACKs (followers answer with
+        // the family even when they cut the INV as obsolete).
+        bool synch = cfg().model == PersistModel::Synch;
+        int consistency = synch ? st.acks : st.acksC;
+        if (consistency != needed())
+            violate("A3-consistency-acks-unbalanced", 0, id,
+                    std::to_string(consistency) + "/" +
+                        std::to_string(needed()) +
+                        " consistency-family ACKs at quiescence");
+        if (simproto::tracksPersistPerWrite(cfg().model) && !synch &&
+            st.acksP != needed())
+            violate("A3-persist-acks-unbalanced", 0, id,
+                    std::to_string(st.acksP) + "/" +
+                        std::to_string(needed()) +
+                        " ACK_Ps at quiescence");
+    }
+    for (const auto &[scope, sa] : scopeAcks_) {
+        if (!sa.completed)
+            continue;
+        int got = 0;
+        for (int n = 0; n < 64; ++n)
+            got += hasNode(sa.senders, n) ? 1 : 0;
+        if (got != needed())
+            violateRaw("A4-scope-acks-unbalanced", sa.endedAt,
+                       "[PERSIST]sc for scope " +
+                           std::to_string(scope) + " completed with " +
+                           std::to_string(got) + "/" +
+                           std::to_string(needed()) + " [ACK_P]sc",
+                       "");
+    }
+}
+
+// ---------------------------------------------------------------------
+// FifoWatchdog
+// ---------------------------------------------------------------------
+
+FifoWatchdog::FifoWatchdog(const AuditConfig *cfg,
+                           const OpTraceIndex *index)
+    : Auditor("fifo", cfg, index)
+{
+}
+
+std::string
+FifoWatchdog::renderHistory(const NodeState &st) const
+{
+    std::ostringstream os;
+    os << "recent FIFO activity on this node:\n";
+    // The history vector is a bounded ring; start at the oldest entry.
+    std::size_t n = st.history.size();
+    std::size_t start = (n == historyPerNode) ? st.historyNext : 0;
+    for (std::size_t i = 0; i < n; ++i)
+        os << "  " << renderRecord(st.history[(start + i) % n])
+           << '\n';
+    return os.str();
+}
+
+void
+FifoWatchdog::onRecord(const Record &rec)
+{
+    if (rec.kind != EventKind::FifoDepth &&
+        rec.kind != EventKind::VfifoSkipped)
+        return;
+
+    NodeState &st = nodes_[rec.node];
+    if (st.history.size() < historyPerNode) {
+        st.history.push_back(rec);
+    } else {
+        st.history[st.historyNext] = rec;
+        st.historyNext = (st.historyNext + 1) % historyPerNode;
+    }
+
+    if (rec.kind == EventKind::VfifoSkipped) {
+        // Drains walk the vFIFO in enqueue order, so skipped entry ids
+        // are strictly increasing per node.
+        if (rec.a0 <= st.lastSkipId)
+            violateRaw("F3-skip-order", rec.when,
+                       "vFIFO skipped entry " + std::to_string(rec.a0) +
+                           " after entry " +
+                           std::to_string(st.lastSkipId),
+                       renderHistory(st));
+        st.lastSkipId = rec.a0;
+        return;
+    }
+
+    ++opsAudited_;
+    int fifo = (rec.a0 == 0) ? 0 : 1;
+    std::int64_t depth = rec.a1;
+    int cap = (fifo == 0) ? cfg().vfifoCap : cfg().dfifoCap;
+    const char *name = (fifo == 0) ? "vFIFO" : "dFIFO";
+    // Samples are taken just after each push, so depth is at least one
+    // and, with a bound configured, never beyond it.
+    if (depth < 1 || (cap > 0 && depth > cap))
+        violateRaw("F1-depth-out-of-bounds", rec.when,
+                   std::string(name) + " depth " +
+                       std::to_string(depth) + " outside [1, " +
+                       (cap > 0 ? std::to_string(cap) : "inf") +
+                       "] at node " + std::to_string(rec.node),
+                   renderHistory(st));
+    std::int64_t last = st.lastDepth[fifo];
+    if (last >= 0 && depth > last + 1)
+        violateRaw("F2-depth-jump", rec.when,
+                   std::string(name) + " depth jumped " +
+                       std::to_string(last) + " -> " +
+                       std::to_string(depth) +
+                       " across one push at node " +
+                       std::to_string(rec.node),
+                   renderHistory(st));
+    st.lastDepth[fifo] = depth;
+}
+
+// ---------------------------------------------------------------------
+// AuditBundle
+// ---------------------------------------------------------------------
+
+AuditBundle::AuditBundle()
+    : consistency_(&cfg_, &index_), persistency_(&cfg_, &index_),
+      acks_(&cfg_, &index_), fifo_(&cfg_, &index_)
+{
+}
+
+void
+AuditBundle::configure(const AuditConfig &cfg)
+{
+    cfg_ = cfg;
+}
+
+void
+AuditBundle::attach(FlightRecorder &rec)
+{
+    if (attached_ == &rec)
+        return;
+    MINOS_ASSERT(!attached_,
+                 "AuditBundle is already attached to a recorder");
+    attached_ = &rec;
+    // The index must observe each record before the auditors so a
+    // violation's rendered trace includes the triggering event.
+    rec.addSink(&index_);
+    rec.addSink(&consistency_);
+    rec.addSink(&persistency_);
+    rec.addSink(&acks_);
+    rec.addSink(&fifo_);
+}
+
+void
+AuditBundle::detach()
+{
+    if (!attached_)
+        return;
+    attached_->removeSink(&index_);
+    attached_->removeSink(&consistency_);
+    attached_->removeSink(&persistency_);
+    attached_->removeSink(&acks_);
+    attached_->removeSink(&fifo_);
+    attached_ = nullptr;
+}
+
+void
+AuditBundle::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    consistency_.finish();
+    persistency_.finish();
+    acks_.finish();
+    fifo_.finish();
+}
+
+std::vector<const Auditor *>
+AuditBundle::auditors() const
+{
+    return {&consistency_, &persistency_, &acks_, &fifo_};
+}
+
+std::uint64_t
+AuditBundle::violationCount() const
+{
+    std::uint64_t total = 0;
+    for (const Auditor *a : auditors())
+        total += a->violationCount();
+    return total;
+}
+
+std::uint64_t
+AuditBundle::opsAudited() const
+{
+    return consistency_.opsAudited();
+}
+
+std::string
+AuditBundle::report(std::size_t maxViolations) const
+{
+    std::ostringstream os;
+    std::size_t shown = 0;
+    for (const Auditor *a : auditors()) {
+        for (const AuditViolation &v : a->violations()) {
+            if (shown == maxViolations) {
+                os << "... ("
+                   << violationCount() - static_cast<std::uint64_t>(
+                                             shown)
+                   << " more violations)\n";
+                return os.str();
+            }
+            os << "[" << a->name() << "] " << v.rule << " at "
+               << v.when << "ns: " << v.detail << '\n';
+            if (!v.trace.empty())
+                os << v.trace;
+            ++shown;
+        }
+    }
+    return os.str();
+}
+
+void
+AuditBundle::registerInto(MetricsRegistry &reg) const
+{
+    for (const Auditor *a : auditors())
+        a->registerInto(reg);
+    reg.counter("audit.ops_indexed",
+                static_cast<std::uint64_t>(index_.ops()));
+}
+
+} // namespace minos::obs

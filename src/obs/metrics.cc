@@ -66,9 +66,13 @@ void
 MetricsRegistry::histogram(const std::string &name,
                            const stats::LatencySeries &series)
 {
-    histograms_[name] =
-        HistSummary{series.count(), series.mean(),  series.p50(),
-                    series.p99(),   series.min(),   series.max()};
+    histograms_[name] = HistSummary{series.count(),
+                                    series.mean(),
+                                    series.p50(),
+                                    series.percentile(95.0),
+                                    series.p99(),
+                                    series.min(),
+                                    series.max()};
 }
 
 bool
@@ -109,8 +113,8 @@ MetricsRegistry::json() const
         os << (first ? "" : ",") << '"' << jsonEscape(name)
            << "\":{\"count\":" << h.count
            << ",\"mean\":" << jsonNumber(h.mean) << ",\"p50\":" << h.p50
-           << ",\"p99\":" << h.p99 << ",\"min\":" << h.min
-           << ",\"max\":" << h.max << "}";
+           << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99
+           << ",\"min\":" << h.min << ",\"max\":" << h.max << "}";
         first = false;
     }
     os << "}}";

@@ -45,7 +45,8 @@ class MetricsRegistry
     /**
      * Serialize as one JSON object:
      * {"counters":{...},"gauges":{...},"histograms":{name:
-     *  {"count":..,"mean":..,"p50":..,"p99":..,"min":..,"max":..}}}.
+     *  {"count":..,"mean":..,"p50":..,"p95":..,"p99":..,
+     *   "min":..,"max":..}}}.
      * Key order follows the ordered maps, so identical registries
      * serialize byte-identically.
      */
@@ -57,6 +58,7 @@ class MetricsRegistry
         std::uint64_t count = 0;
         double mean = 0;
         Tick p50 = 0;
+        Tick p95 = 0;
         Tick p99 = 0;
         Tick min = 0;
         Tick max = 0;

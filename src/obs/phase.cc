@@ -34,8 +34,8 @@ WritePhaseStats::empty() const
 std::string
 WritePhaseStats::table() const
 {
-    stats::Table t({"phase", "count", "mean us", "p50 us", "p99 us",
-                    "max us"});
+    stats::Table t({"phase", "count", "mean us", "p50 us", "p95 us",
+                    "p99 us", "max us"});
     for (int i = 0; i < numPhases; ++i) {
         const auto &s = series_[i];
         if (s.empty())
@@ -44,6 +44,7 @@ WritePhaseStats::table() const
                   std::to_string(s.count()),
                   stats::Table::fmt(s.mean() / 1e3),
                   stats::Table::fmt(s.p50() / 1e3),
+                  stats::Table::fmt(s.percentile(95.0) / 1e3),
                   stats::Table::fmt(s.p99() / 1e3),
                   stats::Table::fmt(s.max() / 1e3)});
     }

@@ -52,8 +52,37 @@ eventKindName(EventKind kind)
         return "span begin";
       case EventKind::SpanEnd:
         return "span end";
+      case EventKind::AckReceived:
+        return "ACK received";
+      case EventKind::AckSent:
+        return "ACK sent";
+      case EventKind::PersistDone:
+        return "persist done";
+      case EventKind::ValSent:
+        return "VAL sent";
+      case EventKind::ClientOpBegin:
+        return "client op begin";
+      case EventKind::ClientOpEnd:
+        return "client op end";
+      case EventKind::GlbRaised:
+        return "glb raised";
+      case EventKind::ScopeMark:
+        return "scope mark";
     }
     return "?";
+}
+
+bool
+categoryFromName(const std::string &name, Category &out)
+{
+    for (int i = 0; i < numCategories; ++i) {
+        Category cat = static_cast<Category>(i);
+        if (name == categoryName(cat)) {
+            out = cat;
+            return true;
+        }
+    }
+    return false;
 }
 
 namespace {
@@ -64,6 +93,56 @@ tsArg(std::int64_t packed)
     std::ostringstream os;
     os << kv::Timestamp::unpack(static_cast<std::uint64_t>(packed));
     return os.str();
+}
+
+const char *
+ackFlavorName(AckFlavor f)
+{
+    switch (f) {
+      case AckFlavor::Combined:
+        return "ACK";
+      case AckFlavor::Consistency:
+        return "ACK_C";
+      case AckFlavor::Persistency:
+        return "ACK_P";
+      case AckFlavor::ScopeConsistency:
+        return "ACK_C_SC";
+      case AckFlavor::ScopePersist:
+        return "ACK_P_SC";
+    }
+    return "?";
+}
+
+const char *
+valFlavorName(ValFlavor f)
+{
+    switch (f) {
+      case ValFlavor::Val:
+        return "VAL";
+      case ValFlavor::ValC:
+        return "VAL_C";
+      case ValFlavor::ValP:
+        return "VAL_P";
+      case ValFlavor::ValCSc:
+        return "VAL_C_SC";
+      case ValFlavor::ValPSc:
+        return "VAL_P_SC";
+    }
+    return "?";
+}
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::Write:
+        return "write";
+      case OpType::Read:
+        return "read";
+      case OpType::PersistSc:
+        return "[PERSIST]sc";
+    }
+    return "?";
 }
 
 } // namespace
@@ -103,6 +182,50 @@ renderRecord(const Record &rec)
            << phaseName(static_cast<Phase>(rec.a0))
            << " txn=" << tsArg(rec.a1);
         break;
+      case EventKind::AckReceived:
+      case EventKind::AckSent:
+        os << ackFlavorName(ackFlavor(rec.aux))
+           << (rec.kind == EventKind::AckSent ? " sent by "
+                                              : " received from ")
+           << ackSender(rec.aux);
+        if (ackFlavor(rec.aux) == AckFlavor::ScopePersist)
+            os << " scope=" << rec.a0;
+        else
+            os << " key=" << rec.a0 << " ts=" << tsArg(rec.a1);
+        break;
+      case EventKind::PersistDone:
+        os << "persist done key=" << rec.a0 << " ts=" << tsArg(rec.a1);
+        break;
+      case EventKind::ValSent:
+        os << valFlavorName(static_cast<ValFlavor>(rec.aux))
+           << " sent";
+        if (static_cast<ValFlavor>(rec.aux) == ValFlavor::ValPSc)
+            os << " scope=" << rec.a0;
+        else
+            os << " key=" << rec.a0 << " ts=" << tsArg(rec.a1);
+        break;
+      case EventKind::ClientOpBegin:
+      case EventKind::ClientOpEnd:
+        os << opTypeName(opType(rec.aux)) << " "
+           << (rec.kind == EventKind::ClientOpBegin ? "begin" : "end");
+        if (opType(rec.aux) == OpType::PersistSc)
+            os << " scope=" << rec.a0;
+        else
+            os << " key=" << rec.a0;
+        if (rec.a1 != 0)
+            os << " ts=" << tsArg(rec.a1);
+        if (opObsolete(rec.aux))
+            os << " (obsolete)";
+        break;
+      case EventKind::GlbRaised:
+        os << (rec.aux == 0 ? "glb_volatileTS" : "glb_durableTS")
+           << " raised key=" << rec.a0 << " ts=" << tsArg(rec.a1);
+        break;
+      case EventKind::ScopeMark:
+        os << "scope mark scope=" << (rec.a0 >> 32)
+           << " key=" << (rec.a0 & 0xffffffff)
+           << " ts=" << tsArg(rec.a1);
+        break;
     }
     return os.str();
 }
@@ -118,6 +241,20 @@ void
 FlightRecorder::setEnabled(Category cat, bool enabled)
 {
     enabled_[static_cast<int>(cat)] = enabled;
+}
+
+void
+FlightRecorder::addSink(RecordSink *sink)
+{
+    if (sink)
+        sinks_.push_back(sink);
+}
+
+void
+FlightRecorder::removeSink(RecordSink *sink)
+{
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+                 sinks_.end());
 }
 
 std::vector<Record>

@@ -45,6 +45,12 @@ inline constexpr int numCategories = 6;
 const char *categoryName(Category cat);
 
 /**
+ * Parse a category name ("protocol", "lock", ...) as printed by
+ * categoryName(). Returns false on an unknown name.
+ */
+bool categoryFromName(const std::string &name, Category &out);
+
+/**
  * What happened. The two integer arguments (a0, a1) are interpreted
  * per kind; see renderRecord() for the exact meanings.
  */
@@ -60,10 +66,109 @@ enum class EventKind : std::uint8_t
     FifoDepth,        ///< occupancy sample; a0=0 (vFIFO) / 1 (dFIFO), a1=depth
     SpanBegin,        ///< phase span begins; a0=phase, a1=txn token
     SpanEnd,          ///< phase span ends; a0=phase, a1=txn token
+    AckReceived,      ///< coordinator got an ACK; a0=key (scope acks:
+                      ///< scope id), a1=packed TS_WR (scope acks: 0),
+                      ///< aux=ackAux(flavor, sender)
+    PersistDone,      ///< one record became durable at this node
+                      ///< (NVM append on B, dFIFO enqueue on O);
+                      ///< a0=key, a1=packed TS_WR
+    ValSent,          ///< coordinator sent VALs; a0=key (VAL_P_SC:
+                      ///< scope id), a1=packed TS_WR (VAL_P_SC: 0),
+                      ///< aux=ValFlavor
+    ClientOpBegin,    ///< client op admitted; a0=key ([PERSIST]sc:
+                      ///< scope id), a1=packed TS_WR (reads/persist:
+                      ///< 0), aux=opAux(type, false)
+    ClientOpEnd,      ///< client op returned; a0=key ([PERSIST]sc:
+                      ///< scope id), a1=packed TS_WR (reads: observed
+                      ///< TS), aux=opAux(type, obsolete)
+    GlbRaised,        ///< glb_volatileTS/glb_durableTS advanced past
+                      ///< this write; a0=key, a1=packed TS_WR,
+                      ///< aux=0 volatile / 1 durable
+    ScopeMark,        ///< write tagged into a scope; a0=(scope<<32)|key,
+                      ///< a1=packed TS_WR
+    AckSent,          ///< follower dispatched an ACK; a0=key (scope
+                      ///< acks: scope id), a1=packed TS_WR (scope
+                      ///< acks: 0), aux=ackAux(flavor, sender=self).
+                      ///< Laid at the send decision so auditors can
+                      ///< check what the sender certified *then* (its
+                      ///< own durability), which receipt-time records
+                      ///< cannot distinguish once the persist races
+                      ///< the network transit.
 };
 
 /** Human-readable event-kind name (also the Chrome trace event name). */
 const char *eventKindName(EventKind kind);
+
+/** ACK family carried in an AckReceived record's aux field. */
+enum class AckFlavor : std::uint8_t
+{
+    Combined,         ///< ACK (Synch: consistency + persistency in one)
+    Consistency,      ///< ACK_C
+    Persistency,      ///< ACK_P
+    ScopeConsistency, ///< ACK_C_SC
+    ScopePersist,     ///< ACK_P_SC (scope flush acknowledgment)
+};
+
+/** VAL flavor carried in a ValSent record's aux field. */
+enum class ValFlavor : std::uint8_t
+{
+    Val,   ///< VAL (consistency + persistency validation in one)
+    ValC,  ///< VAL_C
+    ValP,  ///< VAL_P
+    ValCSc, ///< VAL_C_SC
+    ValPSc, ///< VAL_P_SC (scope durable everywhere)
+};
+
+/** Client operation type in ClientOpBegin/End aux. */
+enum class OpType : std::uint8_t
+{
+    Write,
+    Read,
+    PersistSc, ///< the <Lin, Scope> [PERSIST]sc transaction
+};
+
+/** Pack an AckReceived aux: low byte flavor, high byte sender + 1. */
+constexpr std::uint16_t
+ackAux(AckFlavor flavor, std::int32_t sender)
+{
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(flavor) |
+        (static_cast<std::uint16_t>(sender + 1) << 8));
+}
+
+/** Sender node encoded by ackAux(), or -1 when absent. */
+constexpr std::int32_t
+ackSender(std::uint16_t aux)
+{
+    return static_cast<std::int32_t>(aux >> 8) - 1;
+}
+
+/** ACK flavor encoded by ackAux(). */
+constexpr AckFlavor
+ackFlavor(std::uint16_t aux)
+{
+    return static_cast<AckFlavor>(aux & 0xff);
+}
+
+/** Pack a ClientOpBegin/End aux: low byte type, bit 8 obsolete. */
+constexpr std::uint16_t
+opAux(OpType type, bool obsolete)
+{
+    return static_cast<std::uint16_t>(static_cast<std::uint16_t>(type) |
+                                      (obsolete ? 0x100u : 0u));
+}
+
+constexpr OpType
+opType(std::uint16_t aux)
+{
+    return static_cast<OpType>(aux & 0xff);
+}
+
+constexpr bool
+opObsolete(std::uint16_t aux)
+{
+    return (aux & 0x100u) != 0;
+}
 
 /** One recorded event: 32 bytes, trivially copyable, no heap. */
 struct Record
@@ -74,6 +179,24 @@ struct Record
     std::int32_t node = -1;
     Category category = Category::Protocol;
     EventKind kind = EventKind::InvFanout;
+    /** Per-kind extra payload (ack/val flavor, op type); 0 otherwise. */
+    std::uint16_t aux = 0;
+};
+
+static_assert(sizeof(Record) == 32, "Record must stay one 32-byte slot");
+
+/**
+ * Live observer of the record stream. Sinks see *every* record built,
+ * regardless of the per-category ring-retention bits: category
+ * enablement controls what the ring keeps for export, sinks are the
+ * audit bus (obs/audit.hh) and must not lose events to a muted
+ * category.
+ */
+class RecordSink
+{
+  public:
+    virtual ~RecordSink() = default;
+    virtual void onRecord(const Record &rec) = 0;
 };
 
 /** Render one record as text ("INV fan-out key=7 ts=3.1" style). */
@@ -96,23 +219,41 @@ class FlightRecorder
     }
 
     /**
-     * Record one event. The enabled check is the first thing that
-     * happens — a disabled category pays nothing beyond it — and the
-     * write is a POD store into the preallocated ring (zero
-     * allocation).
+     * Attach a live observer. Sinks receive every record regardless of
+     * category enablement (which only governs ring retention). Not
+     * owned; detach before the sink dies.
+     */
+    void addSink(RecordSink *sink);
+
+    /** Detach a previously added sink (no-op when absent). */
+    void removeSink(RecordSink *sink);
+
+    /**
+     * Record one event. With no sinks attached, the enabled check is
+     * the first thing that happens — a disabled category pays nothing
+     * beyond it — and the write is a POD store into the preallocated
+     * ring (zero allocation). Attached sinks additionally see the
+     * record synchronously.
      */
     void
     record(Tick when, Category cat, EventKind kind, std::int32_t node,
-           std::int64_t a0 = 0, std::int64_t a1 = 0)
+           std::int64_t a0 = 0, std::int64_t a1 = 0,
+           std::uint16_t aux = 0)
     {
-        if (!enabled_[static_cast<int>(cat)])
+        const bool keep = enabled_[static_cast<int>(cat)];
+        if (!keep && sinks_.empty())
             return;
-        ring_[next_] = Record{when, a0, a1, node, cat, kind};
-        if (++next_ == ring_.size())
-            next_ = 0;
-        if (used_ < ring_.size())
-            ++used_;
-        ++recorded_;
+        const Record rec{when, a0, a1, node, cat, kind, aux};
+        if (keep) {
+            ring_[next_] = rec;
+            if (++next_ == ring_.size())
+                next_ = 0;
+            if (used_ < ring_.size())
+                ++used_;
+            ++recorded_;
+        }
+        for (RecordSink *sink : sinks_)
+            sink->onRecord(rec);
     }
 
     /**
@@ -144,6 +285,7 @@ class FlightRecorder
 
   private:
     std::vector<Record> ring_;
+    std::vector<RecordSink *> sinks_;
     std::size_t next_ = 0;
     std::size_t used_ = 0;
     std::uint64_t recorded_ = 0;

@@ -68,6 +68,9 @@ class DdpCluster
 
     virtual int numNodes() const = 0;
     virtual PersistModel model() const = 0;
+
+    /** The cluster's full parameter set (diagnostics wiring included). */
+    virtual const ClusterConfig &config() const = 0;
 };
 
 } // namespace minos::simproto

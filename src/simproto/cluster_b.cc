@@ -1,5 +1,7 @@
 #include "cluster_b.hh"
 
+#include "obs/audit.hh"
+
 namespace minos::simproto {
 
 using kv::NodeId;
@@ -15,6 +17,14 @@ ClusterB::ClusterB(sim::Simulator &sim, const ClusterConfig &cfg,
     MINOS_ASSERT(!opts_.offload,
                  "ClusterB models the host-side engine; use ClusterO "
                  "for offloaded configurations");
+    if (cfg_.audit) {
+        MINOS_ASSERT(cfg_.trace,
+                     "auditors ride the flight recorder's sink bus; "
+                     "set ClusterConfig::trace too");
+        cfg_.audit->configure(
+            {cfg_.numNodes, model_, /*vfifoCap=*/0, /*dfifoCap=*/0});
+        cfg_.audit->attach(*cfg_.trace);
+    }
     fabric_.reserve(static_cast<std::size_t>(cfg_.numNodes));
     nodes_.reserve(static_cast<std::size_t>(cfg_.numNodes));
     for (int i = 0; i < cfg_.numNodes; ++i) {

@@ -18,6 +18,7 @@
 #include "simproto/models.hh"
 
 namespace minos::obs {
+class AuditBundle;
 class FlightRecorder;
 class WritePhaseStats;
 } // namespace minos::obs
@@ -86,6 +87,38 @@ struct ClusterConfig
     obs::FlightRecorder *trace = nullptr;
     /** Optional per-phase write latency sink; not owned. */
     obs::WritePhaseStats *phases = nullptr;
+    /**
+     * Optional online protocol auditors (see obs/audit.hh); not owned.
+     * Requires `trace` (the auditors ride the recorder's sink bus);
+     * the cluster fills in the AuditConfig and attaches the bundle.
+     */
+    obs::AuditBundle *audit = nullptr;
+
+    /**
+     * Test-only deliberate protocol mutations, used to prove the
+     * auditors catch real bugs (tests/audit_test.cc) — the streaming
+     * companion of check::CheckConfig's bug* flags. All default off;
+     * production tools never set them.
+     */
+    struct MutationHooks
+    {
+        /** Coordinator frees the RDLock right after the INV fan-out,
+         *  before any ACK (breaks Table I 2c; trips C3). */
+        bool releaseRdLockEarly = false;
+        /** Follower acknowledges persistency before it is durable
+         *  (breaks 3a; trips P1). */
+        bool ackBeforePersist = false;
+        /** Coordinator's persistency gate settles for one ACK_P short
+         *  (breaks 3b; trips P2). */
+        bool dropOnePersistAck = false;
+        /** Follower sends its gating consistency ACK twice (trips the
+         *  ACK-conservation duplicate rule). */
+        bool duplicateAck = false;
+        /** vFIFO enqueue ignores the configured capacity bound
+         *  (MINOS-O; trips the FIFO watchdog). */
+        bool ignoreFifoCap = false;
+    };
+    MutationHooks mutations;
 
     /** Number of follower nodes for any coordinator. */
     int followers() const { return numNodes - 1; }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/audit.hh"
 #include "sim/condition.hh"
 
 namespace minos::simproto {
@@ -109,6 +110,10 @@ runWorkload(sim::Simulator &sim, DdpCluster &cluster,
     MINOS_ASSERT(wg.count() == 0,
                  "workload did not finish: ", wg.count(),
                  " workers still pending (protocol deadlock?)");
+    // Quiescence: give the auditors their end-of-run pass (e.g. "every
+    // applied write is durable everywhere by now").
+    if (cluster.config().audit)
+        cluster.config().audit->finish();
     state.result.duration = state.lastCompletion;
     state.result.eventCore = sim.counters();
     return state.result;
@@ -200,6 +205,8 @@ runMicroservice(sim::Simulator &sim, DdpCluster &cluster,
     }
     sim.run();
     MINOS_ASSERT(wg.count() == 0, "microservice run did not finish");
+    if (cluster.config().audit)
+        cluster.config().audit->finish();
     result.eventCore = sim.counters();
     return result;
 }

@@ -1,6 +1,7 @@
 #include "node_b.hh"
 
 #include "simproto/cluster_b.hh"
+#include "simproto/trace_map.hh"
 
 #include "obs/phase.hh"
 
@@ -98,19 +99,25 @@ NodeB::releaseWrLock(Record &rec)
 }
 
 void
-NodeB::raiseGlbVolatile(Record &rec, const Timestamp &ts)
+NodeB::raiseGlbVolatile(Record &rec, Key key, const Timestamp &ts)
 {
     if (rec.glbVolatileTs < ts) {
         rec.glbVolatileTs = ts;
+        traceEvent(obs::Category::Protocol, obs::EventKind::GlbRaised,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()), 0);
         progress_.notifyAll();
     }
 }
 
 void
-NodeB::raiseGlbDurable(Record &rec, const Timestamp &ts)
+NodeB::raiseGlbDurable(Record &rec, Key key, const Timestamp &ts)
 {
     if (rec.glbDurableTs < ts) {
         rec.glbDurableTs = ts;
+        traceEvent(obs::Category::Protocol, obs::EventKind::GlbRaised,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()), 1);
         progress_.notifyAll();
     }
 }
@@ -141,6 +148,9 @@ NodeB::persistToNvm(Key key, Value value, Timestamp ts, ScopeId)
     co_await sim::delay(lat - issue);
     log_.append({key, value, ts});
     ++counters_.persists;
+    traceEvent(obs::Category::Protocol, obs::EventKind::PersistDone,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()));
     obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::Persist, t0,
                     sim_.now(), id_,
                     static_cast<std::int64_t>(ts.pack()));
@@ -239,12 +249,27 @@ NodeB::sendVals(MsgType type, Key key, Timestamp ts, ScopeId scope)
     m.scope = scope;
     m.sizeBytes = net::controlMsgBytes;
     counters_.valsSent += static_cast<std::uint64_t>(cfg_.followers());
+    traceEvent(obs::Category::Message, obs::EventKind::ValSent,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()),
+               static_cast<std::uint16_t>(valFlavorOf(type)));
     cluster_.multicast(id_, m);
 }
 
 sim::Task<void>
 NodeB::sendResponse(const Message &req, MsgType type, Tick handle_ns)
 {
+    // Laid before the tx-path compute: the ACK certifies this node's
+    // state at the moment it decides to acknowledge.
+    if (type == MsgType::ACK_P_SC)
+        traceEvent(obs::Category::Protocol, obs::EventKind::AckSent,
+                   static_cast<std::int64_t>(req.scope), 0,
+                   obs::ackAux(ackFlavorOf(type), id_));
+    else
+        traceEvent(obs::Category::Protocol, obs::EventKind::AckSent,
+                   static_cast<std::int64_t>(req.key),
+                   static_cast<std::int64_t>(req.tsWr.pack()),
+                   obs::ackAux(ackFlavorOf(type), id_));
     co_await cores_.compute(cfg_.hostSendNs);
     ++counters_.acksSent;
     Message resp = net::makeResponse(req, type);
@@ -272,6 +297,10 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
 
     Record &rec = store_.at(key);
     Timestamp ts = makeWriteTs(key, rec);
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpBegin,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()),
+               obs::opAux(obs::OpType::Write, false));
 
     // Line 5: early obsoleteness check.
     if (obsolete(rec, ts)) {
@@ -280,6 +309,11 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
         st.obsolete = true;
         st.latencyNs = sim_.now() - t0;
         st.compNs = static_cast<double>(st.latencyNs);
+        traceEvent(obs::Category::Protocol,
+                   obs::EventKind::ClientOpEnd,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()),
+                   obs::opAux(obs::OpType::Write, true));
         co_return st;
     }
 
@@ -307,11 +341,15 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
                             : cfg_.hostSendNs * cfg_.followers());
         txn->tFirstSend = sim_.now();
         sendInvs(key, value, ts, scope);
-        if (cfg_.trace)
-            cfg_.trace->record(sim_.now(), obs::Category::Message,
-                               obs::EventKind::InvFanout, id_,
-                               static_cast<std::int64_t>(key),
-                               static_cast<std::int64_t>(ts.pack()));
+        traceEvent(obs::Category::Message, obs::EventKind::InvFanout,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()));
+        if (isScopeModel(model_))
+            traceEvent(obs::Category::Protocol,
+                       obs::EventKind::ScopeMark,
+                       (static_cast<std::int64_t>(scope) << 32) |
+                           static_cast<std::int64_t>(key),
+                       static_cast<std::int64_t>(ts.pack()));
         obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::LockWait,
                         t_lock0, t_lock1, id_,
                         static_cast<std::int64_t>(ts.pack()));
@@ -331,6 +369,10 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
     } else {
         st.obsolete = true;
         ++counters_.writesObsoleteCut;
+        traceEvent(obs::Category::Protocol,
+                   obs::EventKind::InvObsolete,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()));
         Timestamp observed = rec.volatileTs;
         // Lines 15-16: release WRLock first, then handleObsolete.
         releaseWrLock(rec);
@@ -344,8 +386,16 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
     if (!sent) {
         st.latencyNs = sim_.now() - t0;
         st.compNs = static_cast<double>(st.latencyNs);
+        traceEvent(obs::Category::Protocol,
+                   obs::EventKind::ClientOpEnd,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()),
+                   obs::opAux(obs::OpType::Write, true));
         co_return st;
     }
+
+    if (cfg_.mutations.releaseRdLockEarly)
+        releaseRdLockIfOwner(rec, key, ts);
 
     // Line 18 / Fig. 3 step d: persist to NVM (critical path only for
     // Synch and Strict; background otherwise).
@@ -366,8 +416,8 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
     PendingTxn done;
     switch (model_) {
       case PersistModel::Synch:
-        raiseGlbVolatile(rec, ts);
-        raiseGlbDurable(rec, ts);
+        raiseGlbVolatile(rec, key, ts);
+        raiseGlbDurable(rec, key, ts);
         releaseRdLockIfOwner(rec, key, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(MsgType::VAL, key, ts, scope);
@@ -378,13 +428,14 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
       case PersistModel::Strict: {
         // Gate was ACK_C; send VAL_Cs, then spin for ACK_Ps, then
         // VAL_Ps (Fig. 3(i) step f).
-        raiseGlbVolatile(rec, ts);
+        raiseGlbVolatile(rec, key, ts);
         releaseRdLockIfOwner(rec, key, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(MsgType::VAL_C, key, ts, scope);
-        while (txn->acksP < txn->needed || !txn->localPersistDone)
+        while (txn->acksP < persistNeeded(*txn) ||
+               !txn->localPersistDone)
             co_await progress_.wait();
-        raiseGlbDurable(rec, ts);
+        raiseGlbDurable(rec, key, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(MsgType::VAL_P, key, ts, scope);
         done = *txn;
@@ -395,14 +446,14 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
       case PersistModel::REnf:
         // Return to the client after all ACK_Cs; the RDLock stays held
         // and VALs go out when all ACK_Ps have arrived (Fig. 3(iii)).
-        raiseGlbVolatile(rec, ts);
+        raiseGlbVolatile(rec, key, ts);
         done = *txn;
         sim_.spawn(renfTail(key, ts));
         break;
 
       case PersistModel::Event:
       case PersistModel::Scope:
-        raiseGlbVolatile(rec, ts);
+        raiseGlbVolatile(rec, key, ts);
         releaseRdLockIfOwner(rec, key, ts);
         co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
         sendVals(valCType(), key, ts, scope);
@@ -440,6 +491,10 @@ NodeB::clientWrite(Key key, Value value, ScopeId scope)
         st.commNs = comm;
     }
     st.compNs = static_cast<double>(st.latencyNs) - st.commNs;
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpEnd,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()),
+               obs::opAux(obs::OpType::Write, false));
     co_return st;
 }
 
@@ -473,9 +528,9 @@ NodeB::renfTail(Key key, Timestamp ts)
     auto it = pending_.find(txnKey(key, ts));
     MINOS_ASSERT(it != pending_.end(), "REnf tail without pending txn");
     PendingTxn &txn = it->second;
-    while (txn.acksP < txn.needed || !txn.localPersistDone)
+    while (txn.acksP < persistNeeded(txn) || !txn.localPersistDone)
         co_await progress_.wait();
-    raiseGlbDurable(rec, ts);
+    raiseGlbDurable(rec, key, ts);
     releaseRdLockIfOwner(rec, key, ts);
     co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
     sendVals(MsgType::VAL, key, ts, /*scope=*/0);
@@ -491,6 +546,9 @@ NodeB::clientRead(Key key)
 {
     OpStats st;
     Tick t0 = sim_.now();
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpBegin,
+               static_cast<std::int64_t>(key), 0,
+               obs::opAux(obs::OpType::Read, false));
     co_await cores_.compute(cfg_.clientReqNs);
     Record &rec = store_.at(key);
     // A read stalls only while the RDLock is taken by a write.
@@ -498,6 +556,12 @@ NodeB::clientRead(Key key)
         co_await progress_.wait();
     co_await cores_.compute(cfg_.llcReadNs);
     st.value = rec.value;
+    // The end record carries the observed write's TS so the auditors
+    // can tie the read into that write's causal timeline.
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpEnd,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(rec.volatileTs.pack()),
+               obs::opAux(obs::OpType::Read, false));
     st.latencyNs = sim_.now() - t0;
     st.compNs = static_cast<double>(st.latencyNs);
     co_return st;
@@ -515,6 +579,9 @@ NodeB::persistScope(ScopeId scope)
     if (!isScopeModel(model_))
         co_return st;
 
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpBegin,
+               static_cast<std::int64_t>(scope), 0,
+               obs::opAux(obs::OpType::PersistSc, false));
     co_await cores_.compute(cfg_.clientReqNs);
     auto [it, inserted] = scopePending_.emplace(scope, PendingTxn{});
     MINOS_ASSERT(inserted, "duplicate [PERSIST]sc for scope ", scope);
@@ -540,6 +607,9 @@ NodeB::persistScope(ScopeId scope)
     while (txn.acksP < txn.needed)
         co_await progress_.wait();
     co_await cores_.compute(cfg_.hostSendNs * cfg_.followers());
+    traceEvent(obs::Category::Protocol, obs::EventKind::ValSent,
+               static_cast<std::int64_t>(scope), 0,
+               static_cast<std::uint16_t>(obs::ValFlavor::ValPSc));
     Message val;
     val.type = MsgType::VAL_P_SC;
     val.src = id_;
@@ -548,6 +618,9 @@ NodeB::persistScope(ScopeId scope)
     cluster_.multicast(id_, val);
     scopePending_.erase(scope);
 
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpEnd,
+               static_cast<std::int64_t>(scope), 0,
+               obs::opAux(obs::OpType::PersistSc, false));
     st.latencyNs = sim_.now() - t0;
     st.compNs = static_cast<double>(st.latencyNs);
     co_return st;
@@ -659,6 +732,9 @@ NodeB::onInv(Message msg, Tick t_handle0)
         releaseWrLock(rec);
     } else {
         ++obsoleteInvs_;
+        traceEvent(obs::Category::Protocol, obs::EventKind::InvObsolete,
+                   static_cast<std::int64_t>(msg.key),
+                   static_cast<std::int64_t>(msg.tsWr.pack()));
         Timestamp observed = rec.volatileTs;
         releaseWrLock(rec);
         if (usesSplitAcks(model_)) {
@@ -688,8 +764,21 @@ NodeB::onInv(Message msg, Tick t_handle0)
     switch (model_) {
       case PersistModel::Synch:
         // Persist in the critical path, then the single combined ACK.
-        co_await persistToNvm(msg.key, msg.value, msg.tsWr, msg.scope);
-        co_await sendResponse(msg, MsgType::ACK, sim_.now() - t_handle0);
+        if (cfg_.mutations.ackBeforePersist) {
+            // Mutation: acknowledge durability before it exists.
+            co_await sendResponse(msg, MsgType::ACK,
+                                  sim_.now() - t_handle0);
+            co_await persistToNvm(msg.key, msg.value, msg.tsWr,
+                                  msg.scope);
+        } else {
+            co_await persistToNvm(msg.key, msg.value, msg.tsWr,
+                                  msg.scope);
+            co_await sendResponse(msg, MsgType::ACK,
+                                  sim_.now() - t_handle0);
+        }
+        if (cfg_.mutations.duplicateAck)
+            co_await sendResponse(msg, MsgType::ACK,
+                                  sim_.now() - t_handle0);
         break;
 
       case PersistModel::Strict:
@@ -697,15 +786,29 @@ NodeB::onInv(Message msg, Tick t_handle0)
         // ACK_C right after the LLC update; ACK_P after the persist.
         co_await sendResponse(msg, MsgType::ACK_C,
                               sim_.now() - t_handle0);
-        co_await persistToNvm(msg.key, msg.value, msg.tsWr, msg.scope);
-        co_await sendResponse(msg, MsgType::ACK_P,
-                              sim_.now() - t_handle0);
+        if (cfg_.mutations.duplicateAck)
+            co_await sendResponse(msg, MsgType::ACK_C,
+                                  sim_.now() - t_handle0);
+        if (cfg_.mutations.ackBeforePersist) {
+            co_await sendResponse(msg, MsgType::ACK_P,
+                                  sim_.now() - t_handle0);
+            co_await persistToNvm(msg.key, msg.value, msg.tsWr,
+                                  msg.scope);
+        } else {
+            co_await persistToNvm(msg.key, msg.value, msg.tsWr,
+                                  msg.scope);
+            co_await sendResponse(msg, MsgType::ACK_P,
+                                  sim_.now() - t_handle0);
+        }
         break;
 
       case PersistModel::Event:
       case PersistModel::Scope:
         // ACK_C after the LLC update; persist in the background.
         co_await sendResponse(msg, ackCType(), sim_.now() - t_handle0);
+        if (cfg_.mutations.duplicateAck)
+            co_await sendResponse(msg, ackCType(),
+                                  sim_.now() - t_handle0);
         persistInBackground(msg.key, msg.value, msg.tsWr, msg.scope);
         break;
     }
@@ -715,6 +818,17 @@ sim::Task<void>
 NodeB::onAck(Message msg, Tick t_rx)
 {
     co_await cores_.compute(cfg_.bookkeepNs);
+    // Recorded before the pending-table lookups so stray ACKs (for
+    // already-retired transactions) are still visible to the auditors.
+    if (msg.type == MsgType::ACK_P_SC)
+        traceEvent(obs::Category::Protocol, obs::EventKind::AckReceived,
+                   static_cast<std::int64_t>(msg.scope), 0,
+                   obs::ackAux(ackFlavorOf(msg.type), msg.src));
+    else
+        traceEvent(obs::Category::Protocol, obs::EventKind::AckReceived,
+                   static_cast<std::int64_t>(msg.key),
+                   static_cast<std::int64_t>(msg.tsWr.pack()),
+                   obs::ackAux(ackFlavorOf(msg.type), msg.src));
     if (msg.type == MsgType::ACK_P_SC) {
         // [PERSIST]sc acknowledgement.
         auto it = scopePending_.find(msg.scope);
@@ -765,17 +879,17 @@ NodeB::onVal(Message msg)
     switch (msg.type) {
       case MsgType::VAL:
         // Synch and REnf: single VAL marks consistency + persistency.
-        raiseGlbVolatile(rec, msg.tsWr);
-        raiseGlbDurable(rec, msg.tsWr);
+        raiseGlbVolatile(rec, msg.key, msg.tsWr);
+        raiseGlbDurable(rec, msg.key, msg.tsWr);
         releaseRdLockIfOwner(rec, msg.key, msg.tsWr);
         break;
       case MsgType::VAL_C:
       case MsgType::VAL_C_SC:
-        raiseGlbVolatile(rec, msg.tsWr);
+        raiseGlbVolatile(rec, msg.key, msg.tsWr);
         releaseRdLockIfOwner(rec, msg.key, msg.tsWr);
         break;
       case MsgType::VAL_P:
-        raiseGlbDurable(rec, msg.tsWr);
+        raiseGlbDurable(rec, msg.key, msg.tsWr);
         break;
       case MsgType::VAL_P_SC:
         // Terminates the [PERSIST]sc transaction at the follower.
@@ -790,9 +904,12 @@ sim::Task<void>
 NodeB::onPersistSc(Message msg, Tick t_handle0)
 {
     // Complete persisting all WRs of the scope, persist the [PERSIST]sc
-    // itself, then acknowledge.
-    while (scopeUnpersisted_[msg.scope] > 0)
-        co_await progress_.wait();
+    // itself, then acknowledge. The ackBeforePersist mutation skips the
+    // scope-flush wait, certifying durability the node does not have.
+    if (!cfg_.mutations.ackBeforePersist) {
+        while (scopeUnpersisted_[msg.scope] > 0)
+            co_await progress_.wait();
+    }
     co_await cores_.compute(nvm_.persistLatency(net::controlMsgBytes));
     co_await sendResponse(msg, MsgType::ACK_P_SC, sim_.now() - t_handle0);
 }

@@ -30,6 +30,7 @@
 #include "net/message.hh"
 #include "nvm/log.hh"
 #include "nvm/model.hh"
+#include "obs/recorder.hh"
 #include "sim/condition.hh"
 #include "sim/network.hh"
 #include "simproto/cluster.hh"
@@ -116,8 +117,29 @@ class NodeB
     void releaseWrLock(kv::Record &rec);
 
     /** Raise-glb helpers (monotonic max) + progress notification. */
-    void raiseGlbVolatile(kv::Record &rec, const kv::Timestamp &ts);
-    void raiseGlbDurable(kv::Record &rec, const kv::Timestamp &ts);
+    void raiseGlbVolatile(kv::Record &rec, kv::Key key,
+                          const kv::Timestamp &ts);
+    void raiseGlbDurable(kv::Record &rec, kv::Key key,
+                         const kv::Timestamp &ts);
+
+    /** Lay one flight-recorder event at the current simulated time. */
+    void
+    traceEvent(obs::Category cat, obs::EventKind kind, std::int64_t a0,
+               std::int64_t a1, std::uint16_t aux = 0) const
+    {
+        if (cfg_.trace)
+            cfg_.trace->record(sim_.now(), cat, kind, id_, a0, a1,
+                               aux);
+    }
+
+    /** The coordinator's persistency-gate threshold (mutable by the
+     *  dropOnePersistAck test mutation). */
+    int
+    persistNeeded(const PendingTxn &txn) const
+    {
+        return cfg_.mutations.dropOnePersistAck ? txn.needed - 1
+                                                : txn.needed;
+    }
 
     /** Generate a unique TS_WR for a new client-write on @p key. */
     kv::Timestamp makeWriteTs(kv::Key key, kv::Record &rec);

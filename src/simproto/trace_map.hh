@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Mapping between the wire message taxonomy (net::MsgType) and the
+ * flight recorder's compact ACK/VAL flavor encodings (obs/recorder.hh).
+ *
+ * Lives in simproto (not obs) on purpose: the obs layer stays free of
+ * net dependencies, while both engines share one authoritative mapping
+ * when they lay AckReceived/ValSent records.
+ */
+
+#ifndef MINOS_SIMPROTO_TRACE_MAP_HH
+#define MINOS_SIMPROTO_TRACE_MAP_HH
+
+#include "net/message.hh"
+#include "obs/recorder.hh"
+
+namespace minos::simproto {
+
+constexpr obs::AckFlavor
+ackFlavorOf(net::MsgType t)
+{
+    switch (t) {
+      case net::MsgType::ACK_C:
+        return obs::AckFlavor::Consistency;
+      case net::MsgType::ACK_P:
+        return obs::AckFlavor::Persistency;
+      case net::MsgType::ACK_C_SC:
+        return obs::AckFlavor::ScopeConsistency;
+      case net::MsgType::ACK_P_SC:
+        return obs::AckFlavor::ScopePersist;
+      default:
+        return obs::AckFlavor::Combined;
+    }
+}
+
+constexpr obs::ValFlavor
+valFlavorOf(net::MsgType t)
+{
+    switch (t) {
+      case net::MsgType::VAL_C:
+        return obs::ValFlavor::ValC;
+      case net::MsgType::VAL_P:
+        return obs::ValFlavor::ValP;
+      case net::MsgType::VAL_C_SC:
+        return obs::ValFlavor::ValCSc;
+      case net::MsgType::VAL_P_SC:
+        return obs::ValFlavor::ValPSc;
+      default:
+        return obs::ValFlavor::Val;
+    }
+}
+
+} // namespace minos::simproto
+
+#endif // MINOS_SIMPROTO_TRACE_MAP_HH

@@ -1,5 +1,7 @@
 #include "cluster_o.hh"
 
+#include "obs/audit.hh"
+
 namespace minos::snic {
 
 using kv::NodeId;
@@ -15,6 +17,14 @@ ClusterO::ClusterO(sim::Simulator &sim, const ClusterConfig &cfg,
     MINOS_ASSERT(opts_.offload,
                  "ClusterO is the offloaded engine; 'Combined' is its "
                  "minimum configuration (offload=true)");
+    if (cfg_.audit) {
+        MINOS_ASSERT(cfg_.trace,
+                     "auditors ride the flight recorder's sink bus; "
+                     "set ClusterConfig::trace too");
+        cfg_.audit->configure({cfg_.numNodes, model_,
+                               cfg_.vfifoEntries, cfg_.dfifoEntries});
+        cfg_.audit->attach(*cfg_.trace);
+    }
     fabric_.reserve(static_cast<std::size_t>(cfg_.numNodes));
     nodes_.reserve(static_cast<std::size_t>(cfg_.numNodes));
     for (int i = 0; i < cfg_.numNodes; ++i)

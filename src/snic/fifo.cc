@@ -45,10 +45,20 @@ VFifo::enqueue(Key key, Value value, Timestamp ts)
         cfg_.vfifoEntries > 0
             ? static_cast<std::size_t>(cfg_.vfifoEntries)
             : ~std::size_t{0};
-    while (queue_.size() >= cap)
-        co_await slots_.wait();
+    // The ignoreFifoCap test mutation drops the back-pressure wait so
+    // the FIFO watchdog can prove it notices over-capacity depths.
+    if (!cfg_.mutations.ignoreFifoCap) {
+        // Claim the slot before the doorbell write suspends: the entry
+        // must have a home by the time the write lands, or concurrent
+        // enqueuers would push the occupancy past the hardware cap.
+        while (queue_.size() + reserved_ >= cap)
+            co_await slots_.wait();
+        ++reserved_;
+    }
     co_await sim::delay(
         scaledFifoLatency(cfg_.vfifoWriteNs, cfg_.recordBytes));
+    if (!cfg_.mutations.ignoreFifoCap)
+        --reserved_;
     std::uint64_t id = nextId_++;
     queue_.push_back(Entry{id, key, value, ts});
     peak_ = std::max(peak_, queue_.size());
@@ -146,6 +156,11 @@ DFifo::enqueue(Key key, Value value, Timestamp ts,
     std::uint64_t id = co_await enqueueMarker(size_bytes);
     // Durability point: the update now lives in the SNIC's NVM.
     log_.append({key, value, ts});
+    if (cfg_.trace)
+        cfg_.trace->record(sim_.now(), obs::Category::Protocol,
+                           obs::EventKind::PersistDone, node_,
+                           static_cast<std::int64_t>(key),
+                           static_cast<std::int64_t>(ts.pack()));
     obs::recordSpan(cfg_.trace, cfg_.phases, obs::Phase::Persist, t0,
                     sim_.now(), node_,
                     static_cast<std::int64_t>(ts.pack()));
@@ -160,10 +175,14 @@ DFifo::enqueueMarker(std::uint32_t size_bytes)
         cfg_.dfifoEntries > 0
             ? static_cast<std::size_t>(cfg_.dfifoEntries)
             : ~std::size_t{0};
-    while (queue_.size() >= cap)
+    // Slot reservation mirrors the vFIFO: claim before the write
+    // latency so concurrent enqueuers cannot overshoot the cap.
+    while (queue_.size() + reserved_ >= cap)
         co_await slots_.wait();
+    ++reserved_;
     co_await sim::delay(
         scaledFifoLatency(cfg_.dfifoWriteNs, size_bytes));
+    --reserved_;
     std::uint64_t id = nextId_++;
     queue_.push_back(Entry{id, size_bytes});
     peak_ = std::max(peak_, queue_.size());

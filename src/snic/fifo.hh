@@ -92,6 +92,7 @@ class VFifo
     sim::Condition &progress_;
     sim::Condition slots_;
     std::deque<Entry> queue_;
+    std::size_t reserved_ = 0; ///< slots claimed, write still in flight
     std::uint64_t nextId_ = 0;
     std::uint64_t drainedThrough_ = 0; ///< ids < this are drained
     std::uint64_t skipped_ = 0;
@@ -153,6 +154,7 @@ class DFifo
     sim::Condition &progress_;
     sim::Condition slots_;
     std::deque<Entry> queue_;
+    std::size_t reserved_ = 0; ///< slots claimed, write still in flight
     std::uint64_t nextId_ = 0;
     std::uint64_t drainedThrough_ = 0;
     std::size_t peak_ = 0;

@@ -2,6 +2,8 @@
 
 #include "snic/cluster_o.hh"
 
+#include "simproto/trace_map.hh"
+
 #include "obs/phase.hh"
 
 namespace minos::snic {
@@ -51,28 +53,37 @@ NodeO::snatchRdLock(Record &rec, const Timestamp &ts)
 }
 
 void
-NodeO::releaseRdLockIfOwner(Record &rec, const Timestamp &ts)
+NodeO::releaseRdLockIfOwner(Record &rec, Key key, const Timestamp &ts)
 {
     if (rec.rdLockOwner == ts) {
         rec.rdLockOwner = Timestamp::none();
+        traceEvent(obs::Category::Lock, obs::EventKind::RdLockReleased,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()));
         progress_.notifyAll();
     }
 }
 
 void
-NodeO::raiseGlbVolatile(Record &rec, const Timestamp &ts)
+NodeO::raiseGlbVolatile(Record &rec, Key key, const Timestamp &ts)
 {
     if (rec.glbVolatileTs < ts) {
         rec.glbVolatileTs = ts;
+        traceEvent(obs::Category::Protocol, obs::EventKind::GlbRaised,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()), 0);
         progress_.notifyAll();
     }
 }
 
 void
-NodeO::raiseGlbDurable(Record &rec, const Timestamp &ts)
+NodeO::raiseGlbDurable(Record &rec, Key key, const Timestamp &ts)
 {
     if (rec.glbDurableTs < ts) {
         rec.glbDurableTs = ts;
+        traceEvent(obs::Category::Protocol, obs::EventKind::GlbRaised,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()), 1);
         progress_.notifyAll();
     }
 }
@@ -135,8 +146,8 @@ NodeO::snicGateReached(const PendingTxn &txn) const
       case PersistModel::Synch:
         return txn.acks >= txn.needed;
       case PersistModel::Strict:
-        return txn.acksC >= txn.needed && txn.acksP >= txn.needed &&
-               txn.dfifoEnqueued;
+        return txn.acksC >= txn.needed &&
+               txn.acksP >= persistNeeded(txn) && txn.dfifoEnqueued;
       case PersistModel::REnf:
       case PersistModel::Event:
       case PersistModel::Scope:
@@ -159,6 +170,10 @@ NodeO::clientWrite(Key key, Value value, ScopeId scope)
 
     Record &rec = store_.at(key);
     Timestamp ts = makeWriteTs(key, rec);
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpBegin,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()),
+               obs::opAux(obs::OpType::Write, false));
 
     if (obsolete(rec, ts)) {
         ++counters_.writesObsoleteCut;
@@ -167,6 +182,10 @@ NodeO::clientWrite(Key key, Value value, ScopeId scope)
         st.obsolete = true;
         st.latencyNs = sim_.now() - t0;
         st.compNs = static_cast<double>(st.latencyNs);
+        traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpEnd,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()),
+                   obs::opAux(obs::OpType::Write, true));
         co_return st;
     }
 
@@ -182,9 +201,13 @@ NodeO::clientWrite(Key key, Value value, ScopeId scope)
         ++counters_.writesObsoleteCut;
         Timestamp observed = rec.volatileTs;
         co_await handleObsolete(key, observed);
-        releaseRdLockIfOwner(rec, ts);
+        releaseRdLockIfOwner(rec, key, ts);
         st.latencyNs = sim_.now() - t0;
         st.compNs = static_cast<double>(st.latencyNs);
+        traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpEnd,
+                   static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()),
+                   obs::opAux(obs::OpType::Write, true));
         co_return st;
     }
 
@@ -209,6 +232,16 @@ NodeO::clientWrite(Key key, Value value, ScopeId scope)
     m.scope = scope;
     m.sizeBytes = cfg_.recordBytes + net::controlMsgBytes;
     cluster_.hostSendInv(id_, m);
+    traceEvent(obs::Category::Message, obs::EventKind::InvFanout,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()));
+    if (isScopeModel(model_))
+        traceEvent(obs::Category::Protocol, obs::EventKind::ScopeMark,
+                   (static_cast<std::int64_t>(scope) << 32) |
+                       static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(ts.pack()));
+    if (cfg_.mutations.releaseRdLockEarly)
+        releaseRdLockIfOwner(rec, key, ts);
 
     // Fig. 8 lines 13-14: spin for the (batched) ACK. Without batching
     // the host counts the individually-forwarded ACKs itself.
@@ -220,7 +253,8 @@ NodeO::clientWrite(Key key, Value value, ScopeId scope)
             return txn->hostAcks >= txn->needed;
           case PersistModel::Strict:
             return txn->hostAcksC >= txn->needed &&
-                   txn->hostAcksP >= txn->needed && txn->dfifoEnqueued;
+                   txn->hostAcksP >= persistNeeded(*txn) &&
+                   txn->dfifoEnqueued;
           default:
             return txn->hostAcksC >= txn->needed;
         }
@@ -257,6 +291,10 @@ NodeO::clientWrite(Key key, Value value, ScopeId scope)
         st.commNs = comm;
     }
     st.compNs = static_cast<double>(st.latencyNs) - st.commNs;
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpEnd,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()),
+               obs::opAux(obs::OpType::Write, false));
     co_return st;
 }
 
@@ -265,12 +303,21 @@ NodeO::clientRead(Key key)
 {
     OpStats st;
     Tick t0 = sim_.now();
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpBegin,
+               static_cast<std::int64_t>(key), 0,
+               obs::opAux(obs::OpType::Read, false));
     co_await hostCores_.compute(cfg_.clientReqNs);
     Record &rec = store_.at(key);
     while (!rec.rdLockFree())
         co_await progress_.wait();
     co_await hostCores_.compute(cfg_.llcReadNs);
     st.value = rec.value;
+    // The end record carries the observed write's TS so the auditors
+    // can tie the read into that write's causal timeline.
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpEnd,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(rec.volatileTs.pack()),
+               obs::opAux(obs::OpType::Read, false));
     st.latencyNs = sim_.now() - t0;
     st.compNs = static_cast<double>(st.latencyNs);
     co_return st;
@@ -284,6 +331,9 @@ NodeO::persistScope(ScopeId scope)
     if (!isScopeModel(model_))
         co_return st;
 
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpBegin,
+               static_cast<std::int64_t>(scope), 0,
+               obs::opAux(obs::OpType::PersistSc, false));
     co_await hostCores_.compute(cfg_.clientReqNs);
     auto [it, inserted] = scopePending_.emplace(scope, PendingTxn{});
     MINOS_ASSERT(inserted, "duplicate [PERSIST]sc for scope ", scope);
@@ -304,6 +354,9 @@ NodeO::persistScope(ScopeId scope)
     co_await hostCores_.compute(cfg_.bookkeepNs);
     scopePending_.erase(scope);
 
+    traceEvent(obs::Category::Protocol, obs::EventKind::ClientOpEnd,
+               static_cast<std::int64_t>(scope), 0,
+               obs::opAux(obs::OpType::PersistSc, false));
     st.latencyNs = sim_.now() - t0;
     st.compNs = static_cast<double>(st.latencyNs);
     co_return st;
@@ -443,6 +496,19 @@ sim::Task<void>
 NodeO::snicOnAck(Message msg)
 {
     co_await snicCores_.compute(cfg_.bookkeepNs);
+    // Recorded before the pending-table lookups so stray ACKs (for
+    // already-retired transactions) are still visible to the auditors.
+    if (msg.type == MsgType::ACK_P_SC)
+        traceEvent(obs::Category::Protocol, obs::EventKind::AckReceived,
+                   static_cast<std::int64_t>(msg.scope), 0,
+                   obs::ackAux(simproto::ackFlavorOf(msg.type),
+                               msg.src));
+    else
+        traceEvent(obs::Category::Protocol, obs::EventKind::AckReceived,
+                   static_cast<std::int64_t>(msg.key),
+                   static_cast<std::int64_t>(msg.tsWr.pack()),
+                   obs::ackAux(simproto::ackFlavorOf(msg.type),
+                               msg.src));
     if (msg.type == MsgType::ACK_P_SC) {
         auto its = scopePending_.find(msg.scope);
         if (its == scopePending_.end())
@@ -462,6 +528,11 @@ NodeO::snicOnAck(Message msg)
                         self->progress_.notifyAll();
                     }
                 });
+            traceEvent(obs::Category::Protocol,
+                       obs::EventKind::ValSent,
+                       static_cast<std::int64_t>(scope), 0,
+                       static_cast<std::uint16_t>(
+                           obs::ValFlavor::ValPSc));
             Message val;
             val.type = MsgType::VAL_P_SC;
             val.src = id_;
@@ -496,7 +567,7 @@ NodeO::snicOnAck(Message msg)
     if (model_ == PersistModel::Strict &&
         msg.type == MsgType::ACK_C && txn->acksC == txn->needed) {
         Record &rec = store_.at(msg.key);
-        raiseGlbVolatile(rec, msg.tsWr);
+        raiseGlbVolatile(rec, msg.key, msg.tsWr);
         sim_.spawn(snicStrictTail(msg.key, msg.tsWr, txn));
     }
 
@@ -504,9 +575,9 @@ NodeO::snicOnAck(Message msg)
 
     // REnf persistency tail: all ACK_Ps + local durable -> VALs+unlock.
     if (model_ == PersistModel::REnf && msg.type == MsgType::ACK_P &&
-        txn->acksP == txn->needed) {
+        txn->acksP == persistNeeded(*txn)) {
         Record &rec = store_.at(msg.key);
-        raiseGlbDurable(rec, msg.tsWr);
+        raiseGlbDurable(rec, msg.key, msg.tsWr);
         sim_.spawn(snicCompleteSynchLike(msg.key, msg.tsWr, msg.scope,
                                          txn));
     }
@@ -526,21 +597,21 @@ NodeO::maybeFireClientGate(Key key, Timestamp ts, ScopeId scope,
     Record &rec = store_.at(key);
     switch (model_) {
       case PersistModel::Synch:
-        raiseGlbVolatile(rec, ts);
-        raiseGlbDurable(rec, ts);
+        raiseGlbVolatile(rec, key, ts);
+        raiseGlbDurable(rec, key, ts);
         sim_.spawn(snicCompleteSynchLike(key, ts, scope, txn));
         break;
       case PersistModel::Strict:
-        raiseGlbDurable(rec, ts);
+        raiseGlbDurable(rec, key, ts);
         // VAL_C/VAL_P sequencing handled by snicStrictTail.
         break;
       case PersistModel::REnf:
-        raiseGlbVolatile(rec, ts);
+        raiseGlbVolatile(rec, key, ts);
         // VALs + unlock wait for all ACK_Ps (REnf tail in snicOnAck).
         break;
       case PersistModel::Event:
       case PersistModel::Scope:
-        raiseGlbVolatile(rec, ts);
+        raiseGlbVolatile(rec, key, ts);
         sim_.spawn(snicCompleteSynchLike(key, ts, scope, txn));
         break;
     }
@@ -559,8 +630,13 @@ NodeO::snicCompleteSynchLike(Key key, Timestamp ts, ScopeId scope,
 
     Record &rec = store_.at(key);
     co_await snicCores_.compute(cfg_.snicSyncNs + cfg_.coherenceNs);
-    releaseRdLockIfOwner(rec, ts);
+    releaseRdLockIfOwner(rec, key, ts);
 
+    traceEvent(obs::Category::Protocol, obs::EventKind::ValSent,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()),
+               static_cast<std::uint16_t>(
+                   simproto::valFlavorOf(valCType())));
     Message val;
     val.type = valCType();
     val.src = id_;
@@ -585,8 +661,12 @@ NodeO::snicStrictTail(Key key, Timestamp ts, TxnPtr txn)
 
     Record &rec = store_.at(key);
     co_await snicCores_.compute(cfg_.snicSyncNs + cfg_.coherenceNs);
-    releaseRdLockIfOwner(rec, ts);
+    releaseRdLockIfOwner(rec, key, ts);
 
+    traceEvent(obs::Category::Protocol, obs::EventKind::ValSent,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()),
+               static_cast<std::uint16_t>(obs::ValFlavor::ValC));
     Message val;
     val.type = MsgType::VAL_C;
     val.src = id_;
@@ -596,9 +676,13 @@ NodeO::snicStrictTail(Key key, Timestamp ts, TxnPtr txn)
     counters_.valsSent += static_cast<std::uint64_t>(cfg_.followers());
     cluster_.snicMulticast(id_, val, /*from_batched=*/false);
 
-    while (!(txn->acksP >= txn->needed && txn->dfifoEnqueued))
+    while (!(txn->acksP >= persistNeeded(*txn) && txn->dfifoEnqueued))
         co_await progress_.wait();
-    raiseGlbDurable(rec, ts);
+    raiseGlbDurable(rec, key, ts);
+    traceEvent(obs::Category::Protocol, obs::EventKind::ValSent,
+               static_cast<std::int64_t>(key),
+               static_cast<std::int64_t>(ts.pack()),
+               static_cast<std::uint16_t>(obs::ValFlavor::ValP));
     Message valp = val;
     valp.type = MsgType::VAL_P;
     counters_.valsSent += static_cast<std::uint64_t>(cfg_.followers());
@@ -657,6 +741,10 @@ NodeO::snicOnFollowerInv(Message msg, Tick t_handle0)
     Record &rec = store_.at(msg.key);
 
     auto send_ack = [&](MsgType type, Tick handle) {
+        traceEvent(obs::Category::Protocol, obs::EventKind::AckSent,
+                   static_cast<std::int64_t>(msg.key),
+                   static_cast<std::int64_t>(msg.tsWr.pack()),
+                   obs::ackAux(simproto::ackFlavorOf(type), id_));
         Message resp = net::makeResponse(msg, type);
         resp.handleNs = handle;
         ++counters_.acksSent;
@@ -682,6 +770,9 @@ NodeO::snicOnFollowerInv(Message msg, Tick t_handle0)
     if (obsolete(rec, msg.tsWr)) {
         ++obsoleteInvs_;
         ++counters_.invsObsolete;
+        traceEvent(obs::Category::Protocol, obs::EventKind::InvObsolete,
+                   static_cast<std::int64_t>(msg.key),
+                   static_cast<std::int64_t>(msg.tsWr.pack()));
         co_await obsolete_acks(rec.volatileTs);
         co_return;
     }
@@ -693,9 +784,12 @@ NodeO::snicOnFollowerInv(Message msg, Tick t_handle0)
     if (obsolete(rec, msg.tsWr)) {
         ++obsoleteInvs_;
         ++counters_.invsObsolete;
+        traceEvent(obs::Category::Protocol, obs::EventKind::InvObsolete,
+                   static_cast<std::int64_t>(msg.key),
+                   static_cast<std::int64_t>(msg.tsWr.pack()));
         Timestamp observed = rec.volatileTs;
         co_await obsolete_acks(observed);
-        releaseRdLockIfOwner(rec, msg.tsWr);
+        releaseRdLockIfOwner(rec, msg.key, msg.tsWr);
         co_return;
     }
 
@@ -719,24 +813,45 @@ NodeO::snicOnFollowerInv(Message msg, Tick t_handle0)
     progress_.notifyAll();
     switch (model_) {
       case PersistModel::Synch:
-        txn->dfifoId = co_await dfifo_.enqueue(msg.key, msg.value,
-                                               msg.tsWr,
-                                               cfg_.recordBytes);
+        if (cfg_.mutations.ackBeforePersist) {
+            // Mutation: acknowledge durability before it exists.
+            send_ack(MsgType::ACK, sim_.now() - t_handle0);
+            txn->dfifoId = co_await dfifo_.enqueue(msg.key, msg.value,
+                                                   msg.tsWr,
+                                                   cfg_.recordBytes);
+        } else {
+            txn->dfifoId = co_await dfifo_.enqueue(msg.key, msg.value,
+                                                   msg.tsWr,
+                                                   cfg_.recordBytes);
+            send_ack(MsgType::ACK, sim_.now() - t_handle0);
+        }
         ++counters_.persists;
-        send_ack(MsgType::ACK, sim_.now() - t_handle0);
+        if (cfg_.mutations.duplicateAck)
+            send_ack(MsgType::ACK, sim_.now() - t_handle0);
         break;
       case PersistModel::Strict:
       case PersistModel::REnf:
         send_ack(MsgType::ACK_C, sim_.now() - t_handle0);
-        txn->dfifoId = co_await dfifo_.enqueue(msg.key, msg.value,
-                                               msg.tsWr,
-                                               cfg_.recordBytes);
+        if (cfg_.mutations.duplicateAck)
+            send_ack(MsgType::ACK_C, sim_.now() - t_handle0);
+        if (cfg_.mutations.ackBeforePersist) {
+            send_ack(MsgType::ACK_P, sim_.now() - t_handle0);
+            txn->dfifoId = co_await dfifo_.enqueue(msg.key, msg.value,
+                                                   msg.tsWr,
+                                                   cfg_.recordBytes);
+        } else {
+            txn->dfifoId = co_await dfifo_.enqueue(msg.key, msg.value,
+                                                   msg.tsWr,
+                                                   cfg_.recordBytes);
+            send_ack(MsgType::ACK_P, sim_.now() - t_handle0);
+        }
         ++counters_.persists;
-        send_ack(MsgType::ACK_P, sim_.now() - t_handle0);
         break;
       case PersistModel::Event:
       case PersistModel::Scope:
         send_ack(ackCType(), sim_.now() - t_handle0);
+        if (cfg_.mutations.duplicateAck)
+            send_ack(ackCType(), sim_.now() - t_handle0);
         dfifoInBackground(msg.key, msg.value, msg.tsWr, msg.scope,
                           cfg_.recordBytes);
         break;
@@ -754,15 +869,15 @@ NodeO::snicOnVal(Message msg)
 
     switch (msg.type) {
       case MsgType::VAL:
-        raiseGlbVolatile(rec, msg.tsWr);
-        raiseGlbDurable(rec, msg.tsWr);
+        raiseGlbVolatile(rec, msg.key, msg.tsWr);
+        raiseGlbDurable(rec, msg.key, msg.tsWr);
         break;
       case MsgType::VAL_C:
       case MsgType::VAL_C_SC:
-        raiseGlbVolatile(rec, msg.tsWr);
+        raiseGlbVolatile(rec, msg.key, msg.tsWr);
         break;
       case MsgType::VAL_P:
-        raiseGlbDurable(rec, msg.tsWr);
+        raiseGlbDurable(rec, msg.key, msg.tsWr);
         // Wait for the VAL_C side to finish before retiring (VAL_C is
         // sent first but its handler may still be draining).
         if (txn) {
@@ -786,7 +901,7 @@ NodeO::snicOnVal(Message msg)
         co_await progress_.wait();
     co_await vfifo_.waitDrained(txn->vfifoId);
     co_await snicCores_.compute(cfg_.snicSyncNs + cfg_.coherenceNs);
-    releaseRdLockIfOwner(rec, msg.tsWr);
+    releaseRdLockIfOwner(rec, msg.key, msg.tsWr);
     txn->releasedByValC = true;
     progress_.notifyAll();
 
@@ -814,10 +929,17 @@ NodeO::snicOnPersistSc(Message msg, Tick t_handle0)
     }
 
     // Follower SNIC: flush the scope's outstanding dFIFO enqueues,
-    // persist the marker, acknowledge.
-    while (scopeUnpersisted_[msg.scope] > 0)
-        co_await progress_.wait();
+    // persist the marker, acknowledge. The ackBeforePersist mutation
+    // skips the scope-flush wait, certifying durability the node does
+    // not have.
+    if (!cfg_.mutations.ackBeforePersist) {
+        while (scopeUnpersisted_[msg.scope] > 0)
+            co_await progress_.wait();
+    }
     co_await dfifo_.enqueueMarker(net::controlMsgBytes);
+    traceEvent(obs::Category::Protocol, obs::EventKind::AckSent,
+               static_cast<std::int64_t>(msg.scope), 0,
+               obs::ackAux(obs::AckFlavor::ScopePersist, id_));
     Message resp = net::makeResponse(msg, MsgType::ACK_P_SC);
     resp.handleNs = sim_.now() - t_handle0;
     cluster_.snicUnicast(resp);

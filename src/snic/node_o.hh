@@ -31,6 +31,7 @@
 #include "kv/store.hh"
 #include "net/message.hh"
 #include "nvm/log.hh"
+#include "obs/recorder.hh"
 #include "sim/condition.hh"
 #include "sim/network.hh"
 #include "simproto/cluster.hh"
@@ -140,10 +141,32 @@ class NodeO
     // ---- shared protocol primitives ----
     bool obsolete(const kv::Record &rec, const kv::Timestamp &ts) const;
     void snatchRdLock(kv::Record &rec, const kv::Timestamp &ts);
-    void releaseRdLockIfOwner(kv::Record &rec, const kv::Timestamp &ts);
-    void raiseGlbVolatile(kv::Record &rec, const kv::Timestamp &ts);
-    void raiseGlbDurable(kv::Record &rec, const kv::Timestamp &ts);
+    void releaseRdLockIfOwner(kv::Record &rec, kv::Key key,
+                              const kv::Timestamp &ts);
+    void raiseGlbVolatile(kv::Record &rec, kv::Key key,
+                          const kv::Timestamp &ts);
+    void raiseGlbDurable(kv::Record &rec, kv::Key key,
+                         const kv::Timestamp &ts);
     kv::Timestamp makeWriteTs(kv::Key key, kv::Record &rec);
+
+    /** Lay one flight-recorder event at the current simulated time. */
+    void
+    traceEvent(obs::Category cat, obs::EventKind kind, std::int64_t a0,
+               std::int64_t a1, std::uint16_t aux = 0) const
+    {
+        if (cfg_.trace)
+            cfg_.trace->record(sim_.now(), cat, kind, id_, a0, a1,
+                               aux);
+    }
+
+    /** The persistency-gate threshold (mutable by the
+     *  dropOnePersistAck test mutation). */
+    int
+    persistNeeded(const PendingTxn &txn) const
+    {
+        return cfg_.mutations.dropOnePersistAck ? txn.needed - 1
+                                                : txn.needed;
+    }
 
     /** Spin helper: ConsistencySpin (+ PersistencySpin per model). */
     sim::Task<void> handleObsolete(kv::Key key, kv::Timestamp observed);

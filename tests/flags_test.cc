@@ -89,6 +89,30 @@ TEST(Flags, GetDouble)
     EXPECT_DOUBLE_EQ(f.getDouble("missing", 0.25), 0.25);
 }
 
+TEST(Flags, GetStringsSplitsOnCommas)
+{
+    auto f = make({"prog", "--trace-categories=lock,fifo,message"});
+    auto cats = f.getStrings("trace-categories");
+    ASSERT_EQ(cats.size(), 3u);
+    EXPECT_EQ(cats[0], "lock");
+    EXPECT_EQ(cats[1], "fifo");
+    EXPECT_EQ(cats[2], "message");
+
+    // Empty pieces are dropped; absent flags give an empty list.
+    auto sloppy = make({"prog", "--trace-categories=lock,,fifo,"});
+    auto kept = sloppy.getStrings("trace-categories");
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_EQ(kept[0], "lock");
+    EXPECT_EQ(kept[1], "fifo");
+    EXPECT_TRUE(make({"prog"}).getStrings("trace-categories").empty());
+
+    // Alternative separators.
+    auto colon = make({"prog", "--path=a:b"});
+    auto parts = colon.getStrings("path", ':');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[1], "b");
+}
+
 TEST(Flags, UnknownFlagDetection)
 {
     auto f = make({"prog", "--nodes=3", "--typo=1"});

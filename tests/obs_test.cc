@@ -429,6 +429,9 @@ TEST(MetricsRegistry, SerializesAllThreeKinds)
     EXPECT_NE(json.find("\"run.write_lat_ns\""), std::string::npos);
     EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
     EXPECT_NE(json.find("\"mean\":200"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p95\":"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p99\":300"), std::string::npos) << json;
 
     reg.clear();
     EXPECT_TRUE(reg.empty());

@@ -9,7 +9,9 @@
  *             [--persist-ns=N] [--vfifo=N] [--dfifo=N]
  *             [--no-batch] [--no-bcast] [--csv] [--seed=N]
  *             [--trace-out=FILE.json] [--trace-capacity=N]
+ *             [--trace-categories=lock,fifo,...]
  *             [--metrics-out=FILE.json] [--phases]
+ *             [--audit] [--audit-fatal]
  *
  * Prints a human-readable summary, or a CSV row with --csv (header via
  * --csv-header) so sweeps can be scripted:
@@ -20,6 +22,12 @@
  * trace-event JSON (load it in Perfetto); --metrics-out writes the
  * run's metrics-registry JSON; --phases prints the per-phase write
  * latency table (see docs/observability.md).
+ *
+ * --audit attaches the online protocol auditors (obs/audit.hh) and
+ * prints a violation report; --audit-fatal additionally exits 1 when
+ * any invariant is breached, for CI smoke runs. --trace-categories
+ * restricts which event categories the ring retains (auditors see the
+ * full stream regardless).
  */
 
 #include <algorithm>
@@ -29,6 +37,7 @@
 
 #include "common/flags.hh"
 #include "common/logging.hh"
+#include "obs/audit.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
 #include "obs/phase.hh"
@@ -59,8 +68,8 @@ const std::vector<std::string> knownFlags = {
     "engine", "model", "nodes", "records", "requests", "workers",
     "write-frac", "rmw-frac", "ycsb", "dist", "persist-ns", "vfifo", "dfifo", "no-batch",
     "no-bcast", "csv", "csv-header", "seed", "scope-size", "stats",
-    "trace-out", "trace-capacity", "metrics-out", "phases",
-    "help",
+    "trace-out", "trace-capacity", "trace-categories", "metrics-out",
+    "phases", "audit", "audit-fatal", "help",
 };
 
 void
@@ -86,7 +95,9 @@ usage(const char *prog)
         "          [--scope-size=N] [--seed=N] [--csv] "
         "[--csv-header]\n"
         "          [--trace-out=FILE.json] [--trace-capacity=N]\n"
-        "          [--metrics-out=FILE.json] [--phases]\n",
+        "          [--trace-categories=lock,fifo,...]\n"
+        "          [--metrics-out=FILE.json] [--phases]\n"
+        "          [--audit] [--audit-fatal]\n",
         prog);
 }
 
@@ -162,14 +173,33 @@ main(int argc, char **argv)
 
     const std::string trace_out = flags.getString("trace-out", "");
     const std::string metrics_out = flags.getString("metrics-out", "");
+    const bool audit_fatal = flags.getBool("audit-fatal");
+    const bool want_audit = flags.getBool("audit") || audit_fatal;
     const bool want_phases = flags.getBool("phases") ||
                              !metrics_out.empty() || !trace_out.empty();
 
     obs::FlightRecorder recorder(static_cast<std::size_t>(
         flags.getInt("trace-capacity", 1 << 15)));
+    auto cats = flags.getStrings("trace-categories");
+    if (!cats.empty()) {
+        // Mute everything, then re-enable the requested categories.
+        // This only governs ring retention: audit sinks still see the
+        // full stream.
+        for (int i = 0; i < obs::numCategories; ++i)
+            recorder.setEnabled(static_cast<obs::Category>(i), false);
+        for (const auto &name : cats) {
+            obs::Category c;
+            if (!obs::categoryFromName(name, c))
+                MINOS_FATAL("unknown trace category '", name, "'");
+            recorder.setEnabled(c, true);
+        }
+    }
     obs::WritePhaseStats phase_stats;
-    if (!trace_out.empty())
+    obs::AuditBundle audit;
+    if (!trace_out.empty() || want_audit)
         cfg.trace = &recorder;
+    if (want_audit)
+        cfg.audit = &audit;
     if (want_phases)
         cfg.phases = &phase_stats;
 
@@ -214,7 +244,24 @@ main(int argc, char **argv)
             reg.counter("trace.recorded", recorder.recorded());
             reg.counter("trace.dropped", recorder.dropped());
         }
+        if (want_audit)
+            audit.registerInto(reg);
         writeFileOrDie(metrics_out, reg.json());
+    }
+
+    int exit_code = 0;
+    if (want_audit) {
+        std::printf("protocol audit: %llu violations over %llu writes "
+                    "(%s)\n",
+                    static_cast<unsigned long long>(
+                        audit.violationCount()),
+                    static_cast<unsigned long long>(audit.opsAudited()),
+                    audit.clean() ? "clean" : "VIOLATED");
+        if (!audit.clean()) {
+            std::fprintf(stderr, "%s", audit.report().c_str());
+            if (audit_fatal)
+                exit_code = 1;
+        }
     }
 
     if (flags.getBool("csv")) {
@@ -231,7 +278,7 @@ main(int argc, char **argv)
             res.totalThroughput(),
             static_cast<unsigned long long>(res.obsoleteWrites),
             res.breakdown.commFraction());
-        return 0;
+        return exit_code;
     }
 
     std::printf("MINOS-%s %s  %d nodes, %llu records, %llu req/node, "
@@ -264,5 +311,5 @@ main(int argc, char **argv)
         std::printf("cluster-aggregate protocol counters:\n%s",
                     aggregate.str().c_str());
     }
-    return 0;
+    return exit_code;
 }
